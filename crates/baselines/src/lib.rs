@@ -1,0 +1,22 @@
+//! The baseline storage systems the paper compares PeerStripe against.
+//!
+//! * [`past::Past`] — PAST-style whole-file placement: a file lives in its
+//!   entirety on the node numerically closest to its (salted) key, so no file
+//!   larger than one node's free space can ever be stored, and retries are the
+//!   only answer to a full target.
+//! * [`cfs::Cfs`] — CFS-style fixed-size blocks: every file is chopped into
+//!   fixed blocks placed on the successors of their keys, so lookups (and the
+//!   chance that *some* block fails) grow linearly with file size.
+//!
+//! Both implement [`peerstripe_core::StorageSystem`], so the Figure 7–9 /
+//! Table 1 / Table 4 experiment drivers treat them interchangeably with
+//! PeerStripe, running all three on identically seeded clusters.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cfs;
+pub mod past;
+
+pub use cfs::{Cfs, CfsConfig};
+pub use past::{Past, PastConfig};

@@ -1,0 +1,29 @@
+//! Bench regenerating Table 4: the Condor `bigCopy` case study on the 32-machine
+//! pool, under the three storage back-ends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peerstripe_gridsim::{run_bigcopy, BigCopyScheme, PoolConfig};
+use peerstripe_sim::ByteSize;
+use std::time::Duration;
+
+fn bench_table4_bigcopy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_condor_bigcopy");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(6));
+    let pool = PoolConfig::paper();
+    for (label, scheme) in [
+        ("whole_file", BigCopyScheme::WholeFile),
+        ("fixed_chunks", BigCopyScheme::FixedChunks),
+        ("varying_chunks", BigCopyScheme::VaryingChunks),
+    ] {
+        group.bench_function(format!("copy_8gb/{label}"), |b| {
+            b.iter(|| run_bigcopy(ByteSize::gb(8), scheme, &pool, 13))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4_bigcopy);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benches regenerating Figures 11 and 12: Bullet/RanSub replica dissemination
+//! over the paper's 63-node binary tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peerstripe_multicast::{BulletConfig, BulletSim, MulticastTree};
+use peerstripe_sim::DetRng;
+use std::time::Duration;
+
+fn config(fraction: f64) -> BulletConfig {
+    BulletConfig {
+        packets: 250,
+        ransub_fraction: fraction,
+        per_epoch_budget: 4,
+        upload_budget: 6,
+        max_epochs: 10_000,
+    }
+}
+
+/// Figure 11: full dissemination at the extremes of the RanSub sweep.
+fn bench_fig11_ransub_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_ransub_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    for fraction in [0.03, 0.08, 0.16] {
+        group.bench_function(format!("disseminate/ransub_{:.0}pct", fraction * 100.0), |b| {
+            b.iter(|| {
+                let tree = MulticastTree::binary(5);
+                let mut rng = DetRng::new(11);
+                BulletSim::new(tree, config(fraction)).run(&mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 12: the min/avg/max spread run at RanSub = 16%.
+fn bench_fig12_spread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_packet_spread");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function("disseminate_and_collect_spread", |b| {
+        b.iter(|| {
+            let tree = MulticastTree::binary(5);
+            let mut rng = DetRng::new(12);
+            let run = BulletSim::new(tree, config(0.16)).run(&mut rng);
+            run.spread_series()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11_ransub_sweep, bench_fig12_spread);
+criterion_main!(benches);

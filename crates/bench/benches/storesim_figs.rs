@@ -1,0 +1,47 @@
+//! Benches regenerating Figures 7, 8, 9 and Table 1: the file-insertion
+//! comparison of PAST, CFS and PeerStripe.
+//!
+//! Each benchmark runs one system's full insertion sweep at a reduced scale
+//! (the distributions and the offered-load ratio match the paper; only the
+//! population shrinks so Criterion iterations stay in the hundreds of
+//! milliseconds).  The measured quantity is the simulation itself — the cost of
+//! placing the whole trace — and the reported figures/tables are printed once
+//! per run by the `repro` binary instead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use peerstripe_experiments::storesim::{run_single_system, StoreSimConfig, SystemKind};
+use peerstripe_trace::TraceConfig;
+use std::time::Duration;
+
+fn bench_config() -> StoreSimConfig {
+    StoreSimConfig {
+        nodes: 80,
+        files: 80 * 60,
+        samples: 6,
+        track_objects: true,
+        seed: 42,
+    }
+}
+
+fn bench_store_comparison(c: &mut Criterion) {
+    let config = bench_config();
+    let trace = TraceConfig::scaled(config.files).generate(config.seed ^ 0x7ace);
+    let mut group = c.benchmark_group("fig7_fig8_fig9_table1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(6));
+    for kind in [SystemKind::Past, SystemKind::Cfs, SystemKind::PeerStripe] {
+        group.bench_function(format!("insert_trace/{}", kind.label()), |b| {
+            b.iter_batched(
+                || (config.clone(), trace.clone()),
+                |(config, trace)| run_single_system(kind, &config, &trace),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_comparison);
+criterion_main!(benches);

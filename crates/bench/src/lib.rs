@@ -1,0 +1,12 @@
+//! Criterion benchmark harness.
+//!
+//! One benchmark group per table/figure of the paper's evaluation:
+//!
+//! * `storesim_figs` — Figures 7, 8, 9 and Table 1 (insertion comparison);
+//! * `fault_tolerance` — Figure 10, Table 2, Table 3;
+//! * `multicast_figs` — Figures 11 and 12;
+//! * `condor_table4` — Table 4.
+//!
+//! The benchmarks measure the cost of regenerating each result at a reduced
+//! scale; the `repro` binary (in `peerstripe-experiments`) prints the actual
+//! tables and curves.

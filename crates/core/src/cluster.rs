@@ -1,0 +1,340 @@
+//! The contributory storage pool: overlay + per-node storage.
+//!
+//! [`StorageCluster`] combines the [`peerstripe_overlay::OverlaySim`] (which
+//! decides *where* a key lives and models churn) with a [`StorageNode`] per
+//! participant (which decides *whether* the object fits).  All three storage
+//! systems evaluated in the paper — PeerStripe, PAST and CFS — are built on this
+//! substrate, so their comparison differs only in placement policy, exactly as in
+//! the paper's simulations.
+
+use crate::naming::ObjectName;
+use crate::storage::{NodeStoreError, StorageNode, StoredObject};
+use peerstripe_overlay::{Id, NodeRef, OverlaySim, Takeover};
+use peerstripe_sim::{ByteSize, DetRng};
+use peerstripe_trace::CapacityModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a storage cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of participating nodes.
+    pub nodes: usize,
+    /// Distribution of contributed capacity.
+    pub capacity: CapacityModel,
+    /// Fraction of free space reported per `getCapacity` probe.
+    pub report_fraction: f64,
+    /// Whether nodes keep per-object bookkeeping (needed for availability,
+    /// retrieval, and recovery experiments; off for the largest insert sweeps).
+    pub track_objects: bool,
+}
+
+impl ClusterConfig {
+    /// The paper's 10 000-node simulation population.
+    pub fn paper_desktop_grid() -> Self {
+        ClusterConfig {
+            nodes: 10_000,
+            capacity: CapacityModel::paper_desktop_grid(),
+            report_fraction: 1.0,
+            track_objects: true,
+        }
+    }
+
+    /// A scaled-down population with the same capacity distribution.
+    pub fn scaled(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            ..Self::paper_desktop_grid()
+        }
+    }
+
+    /// Disable per-object tracking (memory-bounded mode for huge sweeps).
+    pub fn without_object_tracking(mut self) -> Self {
+        self.track_objects = false;
+        self
+    }
+
+    /// Build the cluster.
+    pub fn build(&self, rng: &mut DetRng) -> StorageCluster {
+        let mut overlay_rng = rng.fork("overlay");
+        let overlay = OverlaySim::new(self.nodes, &mut overlay_rng);
+        let capacities = self.capacity.sample(self.nodes, rng);
+        let nodes = capacities
+            .into_iter()
+            .map(|c| StorageNode::new(c, self.report_fraction, self.track_objects))
+            .collect();
+        StorageCluster { overlay, nodes }
+    }
+}
+
+/// Why a cluster-level store failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterStoreError {
+    /// The overlay has no live nodes.
+    NoLiveNodes,
+    /// The target node refused the object (insufficient space, duplicate key).
+    Refused(NodeStoreError),
+}
+
+/// The shared storage pool all systems in the evaluation run on.
+#[derive(Debug, Clone)]
+pub struct StorageCluster {
+    overlay: OverlaySim,
+    nodes: Vec<StorageNode>,
+}
+
+impl StorageCluster {
+    /// Read-only access to the overlay.
+    pub fn overlay(&self) -> &OverlaySim {
+        &self.overlay
+    }
+
+    /// Mutable access to the overlay (churn scripting, lookup accounting).
+    pub fn overlay_mut(&mut self) -> &mut OverlaySim {
+        &mut self.overlay
+    }
+
+    /// Number of nodes (live and failed).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Storage state of a node.
+    pub fn node(&self, node: NodeRef) -> &StorageNode {
+        &self.nodes[node]
+    }
+
+    /// Mutable storage state of a node.
+    pub fn node_mut(&mut self, node: NodeRef) -> &mut StorageNode {
+        &mut self.nodes[node]
+    }
+
+    /// Total contributed capacity across all nodes (live and failed).
+    pub fn total_capacity(&self) -> ByteSize {
+        self.nodes.iter().map(StorageNode::capacity).sum()
+    }
+
+    /// Total bytes stored on live nodes.
+    pub fn total_used(&self) -> ByteSize {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.overlay.is_alive(*i))
+            .map(|(_, n)| n.used())
+            .sum()
+    }
+
+    /// Overall utilization of the live capacity, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let capacity: ByteSize = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.overlay.is_alive(*i))
+            .map(|(_, n)| n.capacity())
+            .sum();
+        self.total_used().fraction_of(capacity)
+    }
+
+    /// Send a `getCapacity` probe for a prospective object: routes the key and
+    /// returns the target node together with its reported capacity (Figure 4).
+    ///
+    /// The report is *not* a reservation.
+    pub fn get_capacity(&mut self, key: Id) -> Option<(NodeRef, ByteSize)> {
+        let target = self.overlay.route(key)?;
+        Some((target, self.nodes[target].report_capacity()))
+    }
+
+    /// Store an object at the node its key routes to.
+    ///
+    /// One routed lookup message is charged; the data transfer itself happens
+    /// over IP and is not overlay traffic (Section 4.1).
+    pub fn store_object(
+        &mut self,
+        name: ObjectName,
+        size: ByteSize,
+        payload: Option<Vec<u8>>,
+    ) -> Result<NodeRef, ClusterStoreError> {
+        let key = name.key();
+        let target = self.overlay.route(key).ok_or(ClusterStoreError::NoLiveNodes)?;
+        self.store_object_at(target, key, name, size, payload)
+    }
+
+    /// Store an object on an explicit node (replica placement, takeover
+    /// regeneration).  No lookup message is charged.
+    pub fn store_object_at(
+        &mut self,
+        node: NodeRef,
+        key: Id,
+        name: ObjectName,
+        size: ByteSize,
+        payload: Option<Vec<u8>>,
+    ) -> Result<NodeRef, ClusterStoreError> {
+        if !self.overlay.is_alive(node) {
+            return Err(ClusterStoreError::NoLiveNodes);
+        }
+        self.nodes[node]
+            .store(key, StoredObject { name, size, payload })
+            .map_err(ClusterStoreError::Refused)?;
+        Ok(node)
+    }
+
+    /// Route a lookup for an object and return the node currently responsible
+    /// for its key (charging a lookup message).
+    pub fn locate(&mut self, name: &ObjectName) -> Option<NodeRef> {
+        self.overlay.route(name.key())
+    }
+
+    /// Fetch an object from a specific node (requires object tracking).
+    pub fn fetch_from(&self, node: NodeRef, name: &ObjectName) -> Option<&StoredObject> {
+        if !self.overlay.is_alive(node) {
+            return None;
+        }
+        self.nodes[node].get(name.key())
+    }
+
+    /// True if the given node is live and currently holds the object.
+    pub fn holds(&self, node: NodeRef, name: &ObjectName) -> bool {
+        self.overlay.is_alive(node) && self.nodes[node].has(name.key())
+    }
+
+    /// Remove an object from a node, freeing its space.
+    pub fn remove_from(&mut self, node: NodeRef, name: &ObjectName) -> Option<ByteSize> {
+        self.nodes[node].remove(name.key())
+    }
+
+    /// Release an object's space when it cannot be identified by key (nodes
+    /// running without per-object tracking).  Used by store rollback.
+    pub fn release_at(&mut self, node: NodeRef, size: ByteSize) {
+        self.nodes[node].release(size);
+    }
+
+    /// Roll back a stored object: remove it if tracked, otherwise release its size.
+    pub fn rollback_object(&mut self, node: NodeRef, name: &ObjectName, size: ByteSize) {
+        if self.nodes[node].remove(name.key()).is_none() {
+            self.nodes[node].release(size);
+        }
+    }
+
+    /// Fail a node: its identifier leaves the overlay and its disk contents are
+    /// gone.  Returns the key-space takeover description for recovery.
+    pub fn fail_node(&mut self, node: NodeRef) -> Option<Takeover> {
+        let takeover = self.overlay.fail(node);
+        if takeover.is_some() {
+            // Keep the stored objects around so recovery code can inspect what
+            // was lost (the node itself is unreachable); wiping is the caller's
+            // decision once the loss has been accounted.
+        }
+        takeover
+    }
+
+    /// Uniformly sample and fail `count` live nodes; returns them with takeovers.
+    pub fn fail_random(
+        &mut self,
+        count: usize,
+        rng: &mut DetRng,
+    ) -> Vec<(NodeRef, Option<Takeover>)> {
+        self.overlay.fail_random(count, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster(seed: u64) -> StorageCluster {
+        let mut rng = DetRng::new(seed);
+        ClusterConfig {
+            nodes: 100,
+            capacity: CapacityModel::Fixed(ByteSize::gb(1)),
+            report_fraction: 1.0,
+            track_objects: true,
+        }
+        .build(&mut rng)
+    }
+
+    #[test]
+    fn build_assigns_capacity_to_every_node() {
+        let mut rng = DetRng::new(1);
+        let cluster = ClusterConfig::scaled(50).build(&mut rng);
+        assert_eq!(cluster.node_count(), 50);
+        assert!(cluster.total_capacity() > ByteSize::tb(1));
+        assert_eq!(cluster.total_used(), ByteSize::ZERO);
+        assert_eq!(cluster.utilization(), 0.0);
+    }
+
+    #[test]
+    fn store_and_fetch_round_trip() {
+        let mut cluster = small_cluster(2);
+        let name = ObjectName::block("genome", 0, 1);
+        let node = cluster
+            .store_object(name.clone(), ByteSize::mb(100), Some(vec![1, 2, 3]))
+            .unwrap();
+        assert!(cluster.holds(node, &name));
+        let fetched = cluster.fetch_from(node, &name).unwrap();
+        assert_eq!(fetched.size, ByteSize::mb(100));
+        assert_eq!(fetched.payload.as_deref(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(cluster.total_used(), ByteSize::mb(100));
+        // The object landed on the node its key routes to.
+        assert_eq!(cluster.locate(&name), Some(node));
+    }
+
+    #[test]
+    fn get_capacity_reports_free_space_without_reserving() {
+        let mut cluster = small_cluster(3);
+        let name = ObjectName::chunk("f", 0);
+        let (node, report) = cluster.get_capacity(name.key()).unwrap();
+        assert_eq!(report, ByteSize::gb(1));
+        // Fill the node behind the report's back; the report was not a reservation.
+        cluster
+            .store_object_at(node, Id(42), ObjectName::chunk("other", 0), ByteSize::gb(1), None)
+            .unwrap();
+        let (_, report2) = cluster.get_capacity(name.key()).unwrap();
+        assert_eq!(report2, ByteSize::ZERO);
+    }
+
+    #[test]
+    fn store_fails_when_target_is_full() {
+        let mut cluster = small_cluster(4);
+        let name = ObjectName::chunk("huge", 0);
+        let err = cluster
+            .store_object(name, ByteSize::gb(2), None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterStoreError::Refused(NodeStoreError::InsufficientSpace)
+        ));
+    }
+
+    #[test]
+    fn failed_nodes_lose_objects_for_lookup_purposes() {
+        let mut cluster = small_cluster(5);
+        let name = ObjectName::chunk("data", 0);
+        let node = cluster.store_object(name.clone(), ByteSize::mb(10), None).unwrap();
+        let takeover = cluster.fail_node(node).unwrap();
+        assert!(!cluster.holds(node, &name));
+        assert!(cluster.fetch_from(node, &name).is_none());
+        // The key now routes to one of the takeover inheritors.
+        let new_target = cluster.locate(&name).unwrap();
+        assert!(new_target == takeover.predecessor.1 || new_target == takeover.successor.1);
+    }
+
+    #[test]
+    fn utilization_counts_only_live_nodes() {
+        let mut cluster = small_cluster(6);
+        let name = ObjectName::chunk("x", 0);
+        let node = cluster.store_object(name, ByteSize::mb(500), None).unwrap();
+        assert!(cluster.utilization() > 0.0);
+        cluster.fail_node(node);
+        assert_eq!(cluster.total_used(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn lookup_messages_are_counted() {
+        let mut cluster = small_cluster(7);
+        let before = cluster.overlay().stats().lookups;
+        let _ = cluster.get_capacity(Id::hash("a"));
+        let _ = cluster.store_object(ObjectName::chunk("a", 0), ByteSize::mb(1), None);
+        let _ = cluster.locate(&ObjectName::chunk("a", 0));
+        assert_eq!(cluster.overlay().stats().lookups, before + 3);
+    }
+}

@@ -1,0 +1,263 @@
+//! Per-node contributed storage.
+//!
+//! Every overlay participant contributes disk space.  [`StorageNode`] tracks the
+//! contributed capacity, the space in use, and (optionally) the objects stored,
+//! and implements the node-local policies the paper describes:
+//!
+//! * `getCapacity` replies report the free space a node is willing to devote to
+//!   one block — optionally only a fraction of the free space, so a node can
+//!   serve several simultaneous stores (Section 4.3);
+//! * the space is *not reserved* by a report; a later store can still fail if
+//!   the space was consumed in the meantime.
+
+use crate::naming::ObjectName;
+use peerstripe_overlay::Id;
+use peerstripe_sim::ByteSize;
+use std::collections::HashMap;
+
+/// An object stored on a node.
+#[derive(Debug, Clone)]
+pub struct StoredObject {
+    /// The object's name (block, chunk, CAT, or whole file).
+    pub name: ObjectName,
+    /// Size charged against the node's capacity.
+    pub size: ByteSize,
+    /// Optional real payload (only the byte-level data path fills this in).
+    pub payload: Option<Vec<u8>>,
+}
+
+/// Why a node refused to store an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStoreError {
+    /// The node does not have enough free space.
+    InsufficientSpace,
+    /// An object with the same key is already stored.
+    AlreadyStored,
+}
+
+/// Storage state of one contributory node.
+#[derive(Debug, Clone)]
+pub struct StorageNode {
+    capacity: ByteSize,
+    used: ByteSize,
+    report_fraction: f64,
+    objects: HashMap<Id, StoredObject>,
+    track_objects: bool,
+    object_count: u64,
+}
+
+impl StorageNode {
+    /// Create a node contributing `capacity` bytes.
+    ///
+    /// `report_fraction` controls how much of the free space a `getCapacity`
+    /// reply advertises (1.0 = everything, the configuration used in the paper's
+    /// simulations).  `track_objects` enables per-object bookkeeping (needed for
+    /// availability and recovery experiments; disabled for the very large
+    /// store-throughput sweeps to bound memory).
+    pub fn new(capacity: ByteSize, report_fraction: f64, track_objects: bool) -> Self {
+        assert!((0.0..=1.0).contains(&report_fraction));
+        StorageNode {
+            capacity,
+            used: ByteSize::ZERO,
+            report_fraction,
+            objects: HashMap::new(),
+            track_objects,
+            object_count: 0,
+        }
+    }
+
+    /// Contributed capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Bytes currently in use.
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Free space remaining.
+    pub fn free(&self) -> ByteSize {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Fraction of the capacity in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.used.fraction_of(self.capacity)
+    }
+
+    /// Number of objects stored (counted even when object tracking is off).
+    pub fn object_count(&self) -> u64 {
+        self.object_count
+    }
+
+    /// The reply to a `getCapacity` probe: the maximum block size this node is
+    /// willing to accept right now.  May be zero (full or unwilling).  The space
+    /// is *not* reserved.
+    pub fn report_capacity(&self) -> ByteSize {
+        self.free().scale(self.report_fraction)
+    }
+
+    /// True if an object of the given size fits right now.
+    pub fn can_store(&self, size: ByteSize) -> bool {
+        size <= self.free()
+    }
+
+    /// Store an object under the given key.
+    pub fn store(&mut self, key: Id, object: StoredObject) -> Result<(), NodeStoreError> {
+        if !self.can_store(object.size) {
+            return Err(NodeStoreError::InsufficientSpace);
+        }
+        if self.track_objects {
+            if self.objects.contains_key(&key) {
+                return Err(NodeStoreError::AlreadyStored);
+            }
+            self.used += object.size;
+            self.objects.insert(key, object);
+        } else {
+            self.used += object.size;
+        }
+        self.object_count += 1;
+        Ok(())
+    }
+
+    /// Remove an object, returning its size (only possible with object tracking).
+    pub fn remove(&mut self, key: Id) -> Option<ByteSize> {
+        let obj = self.objects.remove(&key)?;
+        self.used -= obj.size;
+        self.object_count = self.object_count.saturating_sub(1);
+        Some(obj.size)
+    }
+
+    /// Release `size` bytes without identifying the object — the rollback path
+    /// used when per-object tracking is disabled.
+    pub fn release(&mut self, size: ByteSize) {
+        self.used -= size;
+        self.object_count = self.object_count.saturating_sub(1);
+    }
+
+    /// True if the node currently stores the object (requires object tracking).
+    pub fn has(&self, key: Id) -> bool {
+        self.objects.contains_key(&key)
+    }
+
+    /// Access a stored object (requires object tracking).
+    pub fn get(&self, key: Id) -> Option<&StoredObject> {
+        self.objects.get(&key)
+    }
+
+    /// Iterate over the stored objects (requires object tracking).
+    pub fn objects(&self) -> impl Iterator<Item = (&Id, &StoredObject)> {
+        self.objects.iter()
+    }
+
+    /// Drop every stored object (a failed node's disk contents are gone); the
+    /// capacity itself is retained so the node could rejoin empty.
+    pub fn wipe(&mut self) {
+        self.objects.clear();
+        self.used = ByteSize::ZERO;
+        self.object_count = 0;
+    }
+
+    /// Change the fraction of free space reported by `getCapacity`.
+    pub fn set_report_fraction(&mut self, fraction: f64) {
+        assert!((0.0..=1.0).contains(&fraction));
+        self.report_fraction = fraction;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(name: &str, size: ByteSize) -> StoredObject {
+        StoredObject {
+            name: ObjectName::chunk(name, 0),
+            size,
+            payload: None,
+        }
+    }
+
+    #[test]
+    fn store_and_accounting() {
+        let mut node = StorageNode::new(ByteSize::gb(10), 1.0, true);
+        assert_eq!(node.free(), ByteSize::gb(10));
+        node.store(Id(1), obj("a", ByteSize::gb(4))).unwrap();
+        assert_eq!(node.used(), ByteSize::gb(4));
+        assert_eq!(node.free(), ByteSize::gb(6));
+        assert!((node.utilization() - 0.4).abs() < 1e-12);
+        assert_eq!(node.object_count(), 1);
+        assert!(node.has(Id(1)));
+        assert!(!node.has(Id(2)));
+    }
+
+    #[test]
+    fn rejects_oversized_and_duplicate_stores() {
+        let mut node = StorageNode::new(ByteSize::gb(1), 1.0, true);
+        assert_eq!(
+            node.store(Id(1), obj("big", ByteSize::gb(2))),
+            Err(NodeStoreError::InsufficientSpace)
+        );
+        node.store(Id(1), obj("a", ByteSize::mb(100))).unwrap();
+        assert_eq!(
+            node.store(Id(1), obj("a", ByteSize::mb(100))),
+            Err(NodeStoreError::AlreadyStored)
+        );
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut node = StorageNode::new(ByteSize::gb(1), 1.0, true);
+        node.store(Id(7), obj("x", ByteSize::mb(300))).unwrap();
+        assert_eq!(node.remove(Id(7)), Some(ByteSize::mb(300)));
+        assert_eq!(node.used(), ByteSize::ZERO);
+        assert_eq!(node.remove(Id(7)), None);
+        assert_eq!(node.object_count(), 0);
+    }
+
+    #[test]
+    fn report_capacity_respects_fraction_and_is_not_a_reservation() {
+        let mut node = StorageNode::new(ByteSize::gb(10), 0.5, true);
+        assert_eq!(node.report_capacity(), ByteSize::gb(5));
+        // A report does not reserve: a store can still consume the space.
+        node.store(Id(1), obj("a", ByteSize::gb(9))).unwrap();
+        assert_eq!(node.report_capacity(), ByteSize::mb(512));
+        node.set_report_fraction(1.0);
+        assert_eq!(node.report_capacity(), ByteSize::gb(1));
+    }
+
+    #[test]
+    fn untracked_mode_only_counts_bytes() {
+        let mut node = StorageNode::new(ByteSize::gb(1), 1.0, false);
+        node.store(Id(1), obj("a", ByteSize::mb(100))).unwrap();
+        node.store(Id(1), obj("a", ByteSize::mb(100))).unwrap();
+        assert_eq!(node.used(), ByteSize::mb(200));
+        assert_eq!(node.object_count(), 2);
+        assert!(!node.has(Id(1)), "objects are not tracked");
+        assert_eq!(node.remove(Id(1)), None);
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let mut node = StorageNode::new(ByteSize::gb(1), 1.0, true);
+        node.store(Id(1), obj("a", ByteSize::mb(100))).unwrap();
+        node.store(Id(2), obj("b", ByteSize::mb(200))).unwrap();
+        node.wipe();
+        assert_eq!(node.used(), ByteSize::ZERO);
+        assert_eq!(node.object_count(), 0);
+        assert!(!node.has(Id(1)));
+        assert_eq!(node.capacity(), ByteSize::gb(1));
+    }
+
+    #[test]
+    fn payloads_are_preserved() {
+        let mut node = StorageNode::new(ByteSize::gb(1), 1.0, true);
+        let stored = StoredObject {
+            name: ObjectName::block("f", 0, 1),
+            size: ByteSize::bytes(4),
+            payload: Some(vec![1, 2, 3, 4]),
+        };
+        node.store(Id(9), stored).unwrap();
+        assert_eq!(node.get(Id(9)).unwrap().payload.as_deref(), Some(&[1u8, 2, 3, 4][..]));
+    }
+}

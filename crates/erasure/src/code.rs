@@ -1,0 +1,229 @@
+//! The erasure-code abstraction shared by all codecs.
+//!
+//! A chunk of a file is divided into `n` equal-size blocks and encoded into
+//! `m ≥ n` blocks; the original chunk can be reconstructed from a subset of the
+//! encoded blocks (Section 4.2 of the paper).  Different codecs trade storage
+//! overhead (`m/n`), the number of blocks needed for decoding, and CPU time —
+//! exactly the trade-off the paper's Table 2 quantifies.
+
+use std::fmt;
+
+/// One encoded block, identified by its index within the chunk's encoding.
+///
+/// The index corresponds to the paper's `ECB` number in the block-naming
+/// convention `filename_chunkNo_ECB`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedBlock {
+    /// Index of the block within the chunk's encoding (0-based).
+    pub index: u32,
+    /// Encoded payload bytes.
+    pub data: Vec<u8>,
+}
+
+impl EncodedBlock {
+    /// Create an encoded block.
+    pub fn new(index: u32, data: Vec<u8>) -> Self {
+        EncodedBlock { index, data }
+    }
+
+    /// Size of the payload in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Why a decode attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer blocks were supplied than the codec can possibly decode from.
+    NotEnoughBlocks {
+        /// Number of blocks supplied.
+        have: usize,
+        /// Minimum number of blocks the codec needs.
+        need: usize,
+    },
+    /// The supplied blocks were sufficient in number but did not allow full
+    /// recovery (e.g. an unlucky online-code neighbourhood); retrying with more
+    /// blocks usually succeeds.
+    Unrecoverable {
+        /// Number of source blocks still missing after decoding stalled.
+        missing: usize,
+    },
+    /// A block index was out of range or inconsistent with the codec parameters.
+    CorruptBlock {
+        /// The offending block index.
+        index: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::NotEnoughBlocks { have, need } => {
+                write!(f, "not enough encoded blocks: have {have}, need at least {need}")
+            }
+            DecodeError::Unrecoverable { missing } => {
+                write!(f, "decoding stalled with {missing} source blocks unrecovered")
+            }
+            DecodeError::CorruptBlock { index } => write!(f, "corrupt or out-of-range block {index}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A chunk erasure codec.
+///
+/// Implementations are parameterised by the number of source blocks `n` the
+/// chunk is divided into; [`ErasureCode::encode`] splits and pads internally, so
+/// callers only handle whole chunks.
+pub trait ErasureCode: Send + Sync {
+    /// Human-readable codec name as used in the paper's tables ("Null", "XOR", "Online").
+    fn name(&self) -> &'static str;
+
+    /// Number of source blocks a chunk is divided into.
+    fn source_blocks(&self) -> usize;
+
+    /// Number of encoded blocks produced for a chunk.
+    fn encoded_blocks(&self) -> usize;
+
+    /// Minimum number of encoded blocks that guarantees successful decoding.
+    ///
+    /// For sub-optimal codes (online codes) this is the `(1 + ε)n` bound and is
+    /// probabilistic — decoding from exactly this many blocks succeeds with high
+    /// probability, not certainty.
+    fn min_decode_blocks(&self) -> usize;
+
+    /// Number of encoded-block losses the codec tolerates while still meeting
+    /// [`ErasureCode::min_decode_blocks`].
+    fn tolerable_losses(&self) -> usize {
+        self.encoded_blocks().saturating_sub(self.min_decode_blocks())
+    }
+
+    /// Storage overhead: encoded size over original size, e.g. 1.5 for (2,3) XOR.
+    fn storage_overhead(&self) -> f64 {
+        self.encoded_blocks() as f64 / self.source_blocks() as f64
+    }
+
+    /// Encode a chunk into blocks.
+    fn encode(&self, chunk: &[u8]) -> Vec<EncodedBlock>;
+
+    /// Decode a chunk of original length `chunk_len` from (a subset of) its blocks.
+    fn decode(&self, blocks: &[EncodedBlock], chunk_len: usize) -> Result<Vec<u8>, DecodeError>;
+}
+
+/// Split a chunk into `n` equal-size source blocks, zero-padding the last one.
+///
+/// Returns `(blocks, block_size)`.  An empty chunk yields `n` empty blocks.
+pub fn split_into_blocks(chunk: &[u8], n: usize) -> (Vec<Vec<u8>>, usize) {
+    assert!(n > 0, "cannot split into zero blocks");
+    let block_size = chunk.len().div_ceil(n);
+    let mut blocks = Vec::with_capacity(n);
+    for i in 0..n {
+        let start = (i * block_size).min(chunk.len());
+        let end = ((i + 1) * block_size).min(chunk.len());
+        let mut b = chunk[start..end].to_vec();
+        b.resize(block_size, 0);
+        blocks.push(b);
+    }
+    (blocks, block_size)
+}
+
+/// Reassemble source blocks into the original chunk of length `chunk_len`.
+pub fn join_blocks(blocks: &[Vec<u8>], chunk_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(chunk_len);
+    for b in blocks {
+        out.extend_from_slice(b);
+        if out.len() >= chunk_len {
+            break;
+        }
+    }
+    out.truncate(chunk_len);
+    out
+}
+
+/// XOR `src` into `dst` in place (`dst ^= src`); both must have equal length.
+#[inline]
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    // Process a word at a time; the tail is handled bytewise.
+    let words = dst.len() / 8;
+    for i in 0..words {
+        let range = i * 8..i * 8 + 8;
+        let a = u64::from_ne_bytes(dst[range.clone()].try_into().unwrap());
+        let b = u64::from_ne_bytes(src[range.clone()].try_into().unwrap());
+        dst[range].copy_from_slice(&(a ^ b).to_ne_bytes());
+    }
+    for i in words * 8..dst.len() {
+        dst[i] ^= src[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_join_round_trip() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for n in [1, 2, 3, 7, 16, 100, 1000, 1024] {
+            let (blocks, size) = split_into_blocks(&data, n);
+            assert_eq!(blocks.len(), n);
+            assert!(blocks.iter().all(|b| b.len() == size));
+            assert_eq!(join_blocks(&blocks, data.len()), data);
+        }
+    }
+
+    #[test]
+    fn split_empty_chunk() {
+        let (blocks, size) = split_into_blocks(&[], 4);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(size, 0);
+        assert!(blocks.iter().all(|b| b.is_empty()));
+        assert!(join_blocks(&blocks, 0).is_empty());
+    }
+
+    #[test]
+    fn split_pads_with_zeros() {
+        let data = vec![1u8, 2, 3, 4, 5];
+        let (blocks, size) = split_into_blocks(&data, 2);
+        assert_eq!(size, 3);
+        assert_eq!(blocks[0], vec![1, 2, 3]);
+        assert_eq!(blocks[1], vec![4, 5, 0]);
+    }
+
+    #[test]
+    fn xor_into_is_involutive() {
+        let a: Vec<u8> = (0..37).map(|i| i as u8).collect();
+        let b: Vec<u8> = (0..37).map(|i| (i * 7 + 3) as u8).collect();
+        let mut c = a.clone();
+        xor_into(&mut c, &b);
+        assert_ne!(c, a);
+        xor_into(&mut c, &b);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn encoded_block_accessors() {
+        let b = EncodedBlock::new(3, vec![1, 2, 3]);
+        assert_eq!(b.index, 3);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(EncodedBlock::new(0, vec![]).is_empty());
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let e = DecodeError::NotEnoughBlocks { have: 1, need: 2 };
+        assert!(e.to_string().contains("have 1"));
+        let e = DecodeError::Unrecoverable { missing: 5 };
+        assert!(e.to_string().contains("5"));
+        let e = DecodeError::CorruptBlock { index: 9 };
+        assert!(e.to_string().contains("9"));
+    }
+}

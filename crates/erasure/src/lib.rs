@@ -1,0 +1,31 @@
+//! Erasure codes for chunk-level fault tolerance.
+//!
+//! PeerStripe stores each chunk of a file as `m` erasure-coded blocks placed on
+//! independent nodes, so that the chunk survives node failures (Section 4.2 of
+//! the paper).  This crate implements the three codecs evaluated in the paper:
+//!
+//! * [`null::NullCode`] — a pass-through baseline (no redundancy), the reference
+//!   point of Table 2;
+//! * [`xor::XorCode`] — the RAID-5-style parity-check code, default "(2,3)"
+//!   configuration with 50 % storage overhead;
+//! * [`online::OnlineCode`] — Maymounkov's rateless online codes with `q = 3`,
+//!   `ε = 0.01`: ~3 % storage overhead, decode from any `(1 + ε)n` blocks, and
+//!   the ability to mint *new* encoded blocks after failures, which the paper's
+//!   recovery path relies on.
+//!
+//! [`measure`] provides the timing/size harness behind Table 2.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod code;
+pub mod measure;
+pub mod null;
+pub mod online;
+pub mod xor;
+
+pub use code::{DecodeError, EncodedBlock, ErasureCode};
+pub use measure::{measure_code, CodeCost};
+pub use null::NullCode;
+pub use online::OnlineCode;
+pub use xor::XorCode;

@@ -1,0 +1,124 @@
+//! Measurement harness for erasure-code cost (Table 2 of the paper).
+//!
+//! Table 2 reports, for a 4 MB chunk encoded into 4096 blocks, the encoded size
+//! and the encoding time of the NULL, XOR, and online codes, together with the
+//! overhead of each relative to NULL.  [`measure_code`] performs those
+//! measurements for any [`ErasureCode`]; [`CodeCost`] carries the results and the
+//! derived overheads.
+
+use crate::code::ErasureCode;
+use peerstripe_sim::{ByteSize, DetRng, OnlineStats};
+use std::time::Instant;
+
+/// Measured cost of one erasure code on a fixed-size chunk.
+#[derive(Debug, Clone)]
+pub struct CodeCost {
+    /// Codec name ("Null", "XOR", "Online").
+    pub name: &'static str,
+    /// Size of the input chunk.
+    pub chunk_size: ByteSize,
+    /// Total size of the encoded blocks.
+    pub encoded_size: ByteSize,
+    /// Mean wall-clock encoding time in milliseconds.
+    pub encode_ms: f64,
+    /// Mean wall-clock decoding time in milliseconds (from all blocks).
+    pub decode_ms: f64,
+    /// Standard deviation of encoding time across runs.
+    pub encode_ms_sd: f64,
+    /// Standard deviation of decoding time across runs.
+    pub decode_ms_sd: f64,
+}
+
+impl CodeCost {
+    /// Storage overhead relative to the original chunk, as a percentage
+    /// (e.g. 50.0 for the (2,3) XOR code).
+    pub fn size_overhead_pct(&self) -> f64 {
+        if self.chunk_size.is_zero() {
+            0.0
+        } else {
+            100.0 * (self.encoded_size.as_u64() as f64 / self.chunk_size.as_u64() as f64 - 1.0)
+        }
+    }
+
+    /// Encoding-time overhead relative to a baseline (the NULL code), as a percentage.
+    pub fn time_overhead_pct(&self, baseline: &CodeCost) -> f64 {
+        if baseline.encode_ms <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.encode_ms / baseline.encode_ms - 1.0)
+        }
+    }
+}
+
+/// Measure encode/decode cost of `code` on a random chunk of `chunk_size`,
+/// averaged over `runs` repetitions.
+pub fn measure_code(code: &dyn ErasureCode, chunk_size: ByteSize, runs: usize, seed: u64) -> CodeCost {
+    assert!(runs > 0, "at least one run required");
+    let mut rng = DetRng::new(seed);
+    let chunk: Vec<u8> = (0..chunk_size.as_u64()).map(|_| rng.next_u32() as u8).collect();
+
+    let mut encode_stats = OnlineStats::new();
+    let mut decode_stats = OnlineStats::new();
+    let mut encoded_size = ByteSize::ZERO;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let blocks = code.encode(&chunk);
+        encode_stats.push(start.elapsed().as_secs_f64() * 1e3);
+        encoded_size = ByteSize::bytes(blocks.iter().map(|b| b.len() as u64).sum());
+
+        let start = Instant::now();
+        let decoded = code
+            .decode(&blocks, chunk.len())
+            .expect("decoding from the full block set must succeed");
+        decode_stats.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(decoded.len(), chunk.len());
+    }
+
+    CodeCost {
+        name: code.name(),
+        chunk_size,
+        encoded_size,
+        encode_ms: encode_stats.mean(),
+        decode_ms: decode_stats.mean(),
+        encode_ms_sd: encode_stats.sample_std_dev(),
+        decode_ms_sd: decode_stats.sample_std_dev(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::null::NullCode;
+    use crate::online::OnlineCode;
+    use crate::xor::XorCode;
+
+    #[test]
+    fn null_code_has_no_size_overhead() {
+        let cost = measure_code(&NullCode::new(64), ByteSize::kb(64), 2, 1);
+        assert!(cost.size_overhead_pct().abs() < 1.0);
+        assert!(cost.encode_ms >= 0.0);
+    }
+
+    #[test]
+    fn xor_code_has_fifty_percent_overhead() {
+        let cost = measure_code(&XorCode::new(2, 64), ByteSize::kb(64), 2, 2);
+        assert!((cost.size_overhead_pct() - 50.0).abs() < 1.0, "{}", cost.size_overhead_pct());
+    }
+
+    #[test]
+    fn online_code_has_small_overhead() {
+        let code = OnlineCode::with_overhead(256, 0.01, 3, 1.10);
+        let cost = measure_code(&code, ByteSize::kb(64), 1, 3);
+        assert!(cost.size_overhead_pct() < 15.0);
+        assert!(cost.size_overhead_pct() > 0.0);
+    }
+
+    #[test]
+    fn time_overhead_relative_to_baseline() {
+        let base = measure_code(&NullCode::new(16), ByteSize::kb(16), 1, 4);
+        let xor = measure_code(&XorCode::new(2, 16), ByteSize::kb(16), 1, 4);
+        // Only sanity: the helper computes a finite percentage.
+        let pct = xor.time_overhead_pct(&base);
+        assert!(pct.is_finite());
+    }
+}

@@ -1,0 +1,154 @@
+//! The NULL "code": a pass-through baseline.
+//!
+//! Table 2 of the paper compares XOR and online codes against a NULL code that
+//! "simply copies the input data to the output".  It provides no redundancy —
+//! losing any block loses data — but establishes the baseline cost of splitting
+//! and copying a chunk.
+
+use crate::code::{join_blocks, split_into_blocks, DecodeError, EncodedBlock, ErasureCode};
+
+/// Pass-through codec: the chunk is split into `n` blocks and stored verbatim.
+#[derive(Debug, Clone, Copy)]
+pub struct NullCode {
+    n: usize,
+}
+
+impl NullCode {
+    /// Create a NULL code over `n` source blocks (panics if `n` is zero).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "block count must be positive");
+        NullCode { n }
+    }
+}
+
+impl Default for NullCode {
+    /// The paper's Table 2 configuration: 4096 blocks per chunk.
+    fn default() -> Self {
+        NullCode::new(4096)
+    }
+}
+
+impl ErasureCode for NullCode {
+    fn name(&self) -> &'static str {
+        "Null"
+    }
+
+    fn source_blocks(&self) -> usize {
+        self.n
+    }
+
+    fn encoded_blocks(&self) -> usize {
+        self.n
+    }
+
+    fn min_decode_blocks(&self) -> usize {
+        self.n
+    }
+
+    fn encode(&self, chunk: &[u8]) -> Vec<EncodedBlock> {
+        let (blocks, _) = split_into_blocks(chunk, self.n);
+        blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| EncodedBlock::new(i as u32, data))
+            .collect()
+    }
+
+    fn decode(&self, blocks: &[EncodedBlock], chunk_len: usize) -> Result<Vec<u8>, DecodeError> {
+        if blocks.len() < self.n {
+            return Err(DecodeError::NotEnoughBlocks {
+                have: blocks.len(),
+                need: self.n,
+            });
+        }
+        let mut ordered: Vec<Option<&EncodedBlock>> = vec![None; self.n];
+        for b in blocks {
+            let idx = b.index as usize;
+            if idx >= self.n {
+                return Err(DecodeError::CorruptBlock { index: b.index });
+            }
+            ordered[idx] = Some(b);
+        }
+        if ordered.iter().any(Option::is_none) {
+            let missing = ordered.iter().filter(|b| b.is_none()).count();
+            return Err(DecodeError::Unrecoverable { missing });
+        }
+        let data: Vec<Vec<u8>> = ordered
+            .into_iter()
+            .map(|b| b.expect("checked above").data.clone())
+            .collect();
+        Ok(join_blocks(&data, chunk_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chunk(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 % 256) as u8).collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let code = NullCode::new(16);
+        let chunk = sample_chunk(10_000);
+        let blocks = code.encode(&chunk);
+        assert_eq!(blocks.len(), 16);
+        let decoded = code.decode(&blocks, chunk.len()).unwrap();
+        assert_eq!(decoded, chunk);
+    }
+
+    #[test]
+    fn no_redundancy() {
+        let code = NullCode::new(8);
+        assert_eq!(code.tolerable_losses(), 0);
+        assert_eq!(code.storage_overhead(), 1.0);
+        let chunk = sample_chunk(999);
+        let mut blocks = code.encode(&chunk);
+        blocks.remove(3);
+        assert!(matches!(
+            code.decode(&blocks, chunk.len()),
+            Err(DecodeError::NotEnoughBlocks { .. })
+        ));
+    }
+
+    #[test]
+    fn encoded_size_equals_padded_input() {
+        let code = NullCode::new(10);
+        let chunk = sample_chunk(1001);
+        let blocks = code.encode(&chunk);
+        let total: usize = blocks.iter().map(EncodedBlock::len).sum();
+        assert_eq!(total, 101 * 10, "only padding overhead");
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let code = NullCode::new(4);
+        let chunk = sample_chunk(64);
+        let mut blocks = code.encode(&chunk);
+        blocks[0].index = 99;
+        assert!(matches!(
+            code.decode(&blocks, chunk.len()),
+            Err(DecodeError::CorruptBlock { index: 99 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_blocks_do_not_substitute_for_missing_ones() {
+        let code = NullCode::new(4);
+        let chunk = sample_chunk(64);
+        let mut blocks = code.encode(&chunk);
+        blocks[1] = blocks[0].clone();
+        assert!(matches!(
+            code.decode(&blocks, chunk.len()),
+            Err(DecodeError::Unrecoverable { missing: 1 })
+        ));
+    }
+
+    #[test]
+    fn default_matches_paper_table2() {
+        let code = NullCode::default();
+        assert_eq!(code.source_blocks(), 4096);
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment drivers reproducing every table and figure of the paper's
+//! evaluation (Section 6).
+//!
+//! | Paper artefact | Driver | `repro` sub-command |
+//! |---|---|---|
+//! | Figure 7 (failed stores)       | [`storesim::run_store_comparison`] | `fig7` |
+//! | Figure 8 (failed data)         | [`storesim::run_store_comparison`] | `fig8` |
+//! | Figure 9 (utilization)         | [`storesim::run_store_comparison`] | `fig9` |
+//! | Table 1 (chunk statistics)     | [`storesim::StoreComparison::table1`] | `table1` |
+//! | Figure 10 (availability)       | [`availability::run_availability`] | `fig10` |
+//! | Table 2 (erasure-code cost)    | [`coding::run_table2`] | `table2` |
+//! | Table 3 (churn regeneration)   | [`availability::run_regeneration`] | `table3` |
+//! | Figure 11 (RanSub sweep)       | [`multicast_fig::run_ransub_sweep`] | `fig11` |
+//! | Figure 12 (packet spread)      | [`multicast_fig::run_spread`] | `fig12` |
+//! | Table 4 (Condor bigCopy)       | [`condor::run_table4`] | `table4` |
+//!
+//! Every driver is parameterised by [`scale::Scale`]: `small` for tests and
+//! benches, `medium` for the default `repro` run, `paper` for the published
+//! parameters (10 000 nodes, 1.2 M files).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod availability;
+pub mod coding;
+pub mod condor;
+pub mod multicast_fig;
+pub mod report;
+pub mod scale;
+pub mod storesim;
+
+pub use scale::Scale;

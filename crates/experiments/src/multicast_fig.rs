@@ -1,0 +1,160 @@
+//! Multicast replica-creation experiments: Figures 11 and 12.
+//!
+//! Figure 11 sweeps the RanSub set size from 3 % to 16 % of the 63-node binary
+//! tree and plots the average number of packets received per node over time;
+//! Figure 12 fixes RanSub at 16 % and plots the minimum, average, and maximum.
+
+use crate::scale::Scale;
+use peerstripe_multicast::{BulletConfig, BulletSim, MulticastTree};
+use peerstripe_sim::stats::Figure;
+use peerstripe_sim::DetRng;
+
+/// The RanSub fractions swept in Figure 11 (3 %–16 % of the tree).
+pub const RANSUB_FRACTIONS: [f64; 9] = [0.03, 0.05, 0.06, 0.08, 0.10, 0.11, 0.13, 0.14, 0.16];
+
+/// Configuration of the multicast experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct MulticastConfig {
+    /// Height of the binary dissemination tree (5 in the paper → 63 nodes).
+    pub tree_height: u32,
+    /// Number of packets the chunk is divided into (1 000 in the paper).
+    pub packets: usize,
+    /// Per-epoch download budget per node.
+    pub per_epoch_budget: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl MulticastConfig {
+    /// Configuration for a given scale (the tree is always the paper's 63-node
+    /// binary tree; only the packet count shrinks at smaller scales).
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        MulticastConfig {
+            tree_height: 5,
+            packets: scale.multicast_packets(),
+            per_epoch_budget: 4,
+            seed,
+        }
+    }
+
+    fn bullet_config(&self, fraction: f64) -> BulletConfig {
+        BulletConfig {
+            packets: self.packets,
+            ransub_fraction: fraction,
+            per_epoch_budget: self.per_epoch_budget,
+            upload_budget: self.per_epoch_budget + 2,
+            max_epochs: 50 * self.packets,
+        }
+    }
+}
+
+/// Result of the Figure 11 sweep.
+#[derive(Debug, Clone)]
+pub struct RanSubSweep {
+    /// One (epoch, avg packets/node) curve per RanSub fraction, largest first
+    /// (the ordering used in the paper's legend).
+    pub figure: Figure,
+    /// Completion epoch per fraction, in the order of [`RANSUB_FRACTIONS`].
+    pub completion_epochs: Vec<usize>,
+}
+
+/// Run the Figure 11 sweep.
+pub fn run_ransub_sweep(config: &MulticastConfig) -> RanSubSweep {
+    let mut figure = Figure::new(
+        "Figure 11: packets received per node vs. time",
+        "epochs",
+        "average packets per node",
+    );
+    let mut completion = Vec::new();
+    for &fraction in RANSUB_FRACTIONS.iter().rev() {
+        let tree = MulticastTree::binary(config.tree_height);
+        let mut rng = DetRng::new(config.seed).fork_indexed("ransub", (fraction * 100.0) as u64);
+        let run = BulletSim::new(tree, config.bullet_config(fraction)).run(&mut rng);
+        figure.push_series(run.avg_series(format!("RanSub = {:.0}%", fraction * 100.0)));
+        completion.push(run.completed_at.unwrap_or(usize::MAX));
+    }
+    completion.reverse();
+    RanSubSweep {
+        figure,
+        completion_epochs: completion,
+    }
+}
+
+/// Result of the Figure 12 run (RanSub = 16 %).
+#[derive(Debug, Clone)]
+pub struct SpreadResult {
+    /// The min / average / max curves.
+    pub figure: Figure,
+    /// Epoch at which dissemination completed.
+    pub completed_at: Option<usize>,
+}
+
+/// Run the Figure 12 experiment.
+pub fn run_spread(config: &MulticastConfig) -> SpreadResult {
+    let tree = MulticastTree::binary(config.tree_height);
+    let mut rng = DetRng::new(config.seed).fork("spread");
+    let run = BulletSim::new(tree, config.bullet_config(0.16)).run(&mut rng);
+    let (min, avg, max) = run.spread_series();
+    let mut figure = Figure::new(
+        "Figure 12: packet spread per node (RanSub = 16%)",
+        "epochs",
+        "packets per node",
+    );
+    figure.push_series(max);
+    figure.push_series(avg);
+    figure.push_series(min);
+    SpreadResult {
+        figure,
+        completed_at: run.completed_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MulticastConfig {
+        MulticastConfig {
+            tree_height: 5,
+            packets: 120,
+            per_epoch_budget: 4,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_curve_per_fraction() {
+        let sweep = run_ransub_sweep(&tiny());
+        assert_eq!(sweep.figure.series.len(), RANSUB_FRACTIONS.len());
+        assert_eq!(sweep.completion_epochs.len(), RANSUB_FRACTIONS.len());
+        assert!(sweep.figure.series_named("RanSub = 16%").is_some());
+        assert!(sweep.figure.series_named("RanSub = 3%").is_some());
+        // Every run completed.
+        assert!(sweep.completion_epochs.iter().all(|&e| e != usize::MAX));
+    }
+
+    #[test]
+    fn larger_ransub_never_completes_later_by_much() {
+        // Figure 11's trend: completion time decreases (then saturates) as the
+        // RanSub fraction grows.  Compare the smallest and the largest.
+        let sweep = run_ransub_sweep(&tiny());
+        let smallest = sweep.completion_epochs[0];
+        let largest = *sweep.completion_epochs.last().unwrap();
+        assert!(largest <= smallest, "16% ({largest}) should finish no later than 3% ({smallest})");
+    }
+
+    #[test]
+    fn spread_min_avg_max_ordering() {
+        let spread = run_spread(&tiny());
+        assert!(spread.completed_at.is_some());
+        let max = spread.figure.series_named("Max").unwrap();
+        let avg = spread.figure.series_named("Average").unwrap();
+        let min = spread.figure.series_named("Min").unwrap();
+        for i in 0..max.points.len() {
+            assert!(min.points[i].1 <= avg.points[i].1 + 1e-9);
+            assert!(avg.points[i].1 <= max.points[i].1 + 1e-9);
+        }
+        // Dissemination finishes with everyone holding every packet.
+        assert_eq!(min.last_y(), Some(120.0));
+    }
+}

@@ -1,0 +1,216 @@
+//! Plain-text rendering of every experiment result, in the paper's layout.
+//!
+//! The `repro` binary prints these renderings; EXPERIMENTS.md embeds them.
+
+use crate::availability::{AvailabilityResult, Table3Row};
+use crate::coding::Table2;
+use crate::multicast_fig::{RanSubSweep, SpreadResult};
+use crate::storesim::StoreComparison;
+use peerstripe_gridsim::Table4Row;
+use peerstripe_sim::stats::Figure;
+use peerstripe_sim::TableBuilder;
+use std::fmt::Write as _;
+
+/// Render a figure: the headline (final/extreme values per series) plus the CSV
+/// of the full curves.
+pub fn render_figure(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ==", fig.title);
+    for s in &fig.series {
+        if let Some(y) = s.last_y() {
+            let _ = writeln!(out, "  {:<22} final {} = {:.2}", s.name, fig.y_label, y);
+        }
+    }
+    let _ = writeln!(out, "--- curve data (CSV) ---");
+    out.push_str(&fig.to_csv());
+    out
+}
+
+/// Render Figures 7–9 and Table 1 from a store comparison.
+pub fn render_store_comparison(cmp: &StoreComparison) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Inserted {} files ({}) into {} of contributed capacity (offered load {:.1}%)\n",
+        cmp.files_offered,
+        cmp.bytes_offered,
+        cmp.capacity,
+        100.0 * cmp.bytes_offered.as_u64() as f64 / cmp.capacity.as_u64() as f64,
+    );
+    out.push_str(&render_figure(&cmp.figure7()));
+    out.push('\n');
+    out.push_str(&render_figure(&cmp.figure8()));
+    out.push('\n');
+    out.push_str(&render_figure(&cmp.figure9()));
+    out.push('\n');
+    out.push_str(&render_table1(cmp));
+    out
+}
+
+/// Render Table 1.
+pub fn render_table1(cmp: &StoreComparison) -> String {
+    let t1 = cmp.table1();
+    let mut t = TableBuilder::new(
+        "Table 1: number and size of chunks created",
+        &["Scheme", "Chunks (avg)", "Chunks (sd)", "Size (avg)", "Size (sd)"],
+    );
+    for (scheme, c_mean, c_sd, s_mean, s_sd) in &t1.rows {
+        t.row(&[
+            scheme.clone(),
+            format!("{c_mean:.2}"),
+            format!("{c_sd:.2}"),
+            format!("{s_mean}"),
+            format!("{s_sd}"),
+        ]);
+    }
+    t.render()
+}
+
+/// Render Table 2.
+pub fn render_table2(t2: &Table2) -> String {
+    let mut t = TableBuilder::new(
+        format!(
+            "Table 2: encoding cost for a {} chunk ({} blocks)",
+            t2.chunk_size, t2.blocks
+        ),
+        &[
+            "Erasure code",
+            "Encoded size",
+            "Size ovrhd.",
+            "Encode (ms)",
+            "Encode ovrhd.",
+            "Decode (ms)",
+        ],
+    );
+    for row in &t2.rows {
+        t.row(&[
+            row.code.to_string(),
+            format!("{}", row.encoded_size),
+            format!("{:.0}%", row.size_overhead_pct),
+            format!("{:.1}", row.encode_ms),
+            format!("{:.0}%", row.encode_overhead_pct),
+            format!("{:.1}", row.decode_ms),
+        ]);
+    }
+    t.render()
+}
+
+/// Render Figure 10.
+pub fn render_figure10(result: &AvailabilityResult) -> String {
+    render_figure(&result.figure10())
+}
+
+/// Render Table 3.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut t = TableBuilder::new(
+        "Table 3: data lost and regenerated after failing 10% / 20% of the nodes",
+        &[
+            "Nodes failed",
+            "Data lost",
+            "Data regenerated",
+            "Regen/failure (avg)",
+            "Regen/failure (sd)",
+            "Total data",
+        ],
+    );
+    for row in rows {
+        t.row(&[
+            format!("{:.0}% ({} nodes)", row.failed_fraction * 100.0, row.nodes_failed),
+            format!("{}", row.data_lost),
+            format!("{}", row.data_regenerated),
+            format!("{}", row.regen_per_failure_mean),
+            format!("{}", row.regen_per_failure_sd),
+            format!("{}", row.total_data),
+        ]);
+    }
+    t.render()
+}
+
+/// Render Figure 11.
+pub fn render_figure11(sweep: &RanSubSweep) -> String {
+    let mut out = render_figure(&sweep.figure);
+    let _ = writeln!(out, "completion epochs (3% .. 16%): {:?}", sweep.completion_epochs);
+    out
+}
+
+/// Render Figure 12.
+pub fn render_figure12(spread: &SpreadResult) -> String {
+    let mut out = render_figure(&spread.figure);
+    if let Some(done) = spread.completed_at {
+        let _ = writeln!(out, "dissemination completed at epoch {done}");
+    }
+    out
+}
+
+/// Render Table 4.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut t = TableBuilder::new(
+        "Table 4: Condor bigCopy time (seconds); overheads are relative to the whole-file scheme",
+        &[
+            "File size",
+            "Whole file (s)",
+            "Fixed chunks (s)",
+            "(overhead)",
+            "Varying chunks (s)",
+            "(overhead)",
+        ],
+    );
+    for row in rows {
+        let whole = if row.whole.succeeded {
+            format!("{:.1}", row.whole.elapsed_secs)
+        } else {
+            "N/A".to_string()
+        };
+        let fixed_ov = row
+            .fixed_overhead_pct()
+            .map(|p| format!("{p:.1}%"))
+            .unwrap_or_else(|| "N/A".to_string());
+        let varying_ov = row
+            .varying_overhead_pct()
+            .map(|p| format!("{p:.1}%"))
+            .unwrap_or_else(|| "N/A".to_string());
+        t.row(&[
+            format!("{}", row.size),
+            whole,
+            format!("{:.1}", row.fixed.elapsed_secs),
+            fixed_ov,
+            format!("{:.1}", row.varying.elapsed_secs),
+            varying_ov,
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coding::{run_table2, CodingConfig};
+    use peerstripe_sim::ByteSize;
+
+    #[test]
+    fn table2_rendering_contains_all_codes() {
+        let t2 = run_table2(&CodingConfig {
+            chunk_size: ByteSize::kb(128),
+            blocks: 128,
+            runs: 1,
+            seed: 1,
+        });
+        let text = render_table2(&t2);
+        assert!(text.contains("Null"));
+        assert!(text.contains("XOR"));
+        assert!(text.contains("Online"));
+        assert!(text.contains("Table 2"));
+    }
+
+    #[test]
+    fn figure_rendering_includes_csv() {
+        let mut fig = Figure::new("Test figure", "x", "y");
+        let mut s = peerstripe_sim::Series::new("A");
+        s.push(1.0, 2.0);
+        fig.push_series(s);
+        let text = render_figure(&fig);
+        assert!(text.contains("Test figure"));
+        assert!(text.contains("curve data"));
+        assert!(text.contains("A"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Multicast-based replica creation (Bullet + RanSub).
+//!
+//! Instead of making a primary node responsible for pushing replicas one by one,
+//! PeerStripe creates the `k` replicas of an encoded block *simultaneously* by
+//! multicasting the block over a locality-aware overlay tree (Section 4.4.1 of
+//! the paper).  This crate implements the three pieces:
+//!
+//! * [`tree::MulticastTree`] — binary and proximity-greedy tree construction;
+//! * [`ransub::RanSub`] — the epoch-driven distribute/collect random-subset
+//!   protocol that tells every member what data its peers hold;
+//! * [`bullet::BulletSim`] — Bullet-style parent-push + peer-pull packet
+//!   dissemination, reporting the per-epoch packet counts behind Figures 11
+//!   and 12.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bullet;
+pub mod ransub;
+pub mod tree;
+
+pub use bullet::{BulletConfig, BulletRun, BulletSim, EpochStats};
+pub use ransub::{RanSub, RanSubViews};
+pub use tree::MulticastTree;

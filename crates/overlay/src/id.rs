@@ -1,0 +1,277 @@
+//! Node and object identifiers in the structured overlay.
+//!
+//! Pastry (and PAST/CFS on top of it) assigns every node a uniformly distributed
+//! identifier and every stored object a key in the same circular space; a key is
+//! mapped to the live node whose identifier is *numerically closest* to it.
+//! The paper derives keys with SHA-1 (160 bits).  For the simulator we use a
+//! 128-bit space with a non-cryptographic but well-mixed hash: the experiments
+//! only rely on uniform distribution and collision-freeness of the mapping, not
+//! on cryptographic strength, and 128 bits keeps circular arithmetic on native
+//! integers.  This substitution is recorded in DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of bits in an identifier.
+pub const ID_BITS: u32 = 128;
+
+/// Pastry digit width `b`; digits are base `2^b` (16, i.e. hex digits).
+pub const DIGIT_BITS: u32 = 4;
+
+/// Number of digits in an identifier (`ID_BITS / DIGIT_BITS`).
+pub const NUM_DIGITS: u32 = ID_BITS / DIGIT_BITS;
+
+/// A 128-bit identifier in the circular overlay id space.
+///
+/// Used both for node identifiers (`nodeId`) and object keys (chunk names,
+/// encoded-block names, CAT names).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Id(pub u128);
+
+impl Id {
+    /// The zero identifier.
+    pub const ZERO: Id = Id(0);
+    /// The maximum identifier.
+    pub const MAX: Id = Id(u128::MAX);
+
+    /// Construct from a raw value.
+    #[inline]
+    pub const fn from_raw(v: u128) -> Self {
+        Id(v)
+    }
+
+    /// Raw 128-bit value.
+    #[inline]
+    pub const fn raw(self) -> u128 {
+        self.0
+    }
+
+    /// Hash an arbitrary name into the id space.
+    ///
+    /// This stands in for the SHA-1 of the paper: a double-width
+    /// multiply-xorshift construction (two independent 64-bit lanes seeded with
+    /// distinct offsets) giving uniform, deterministic 128-bit keys.
+    pub fn hash(name: &str) -> Id {
+        Id::hash_bytes(name.as_bytes())
+    }
+
+    /// Hash arbitrary bytes into the id space.
+    pub fn hash_bytes(data: &[u8]) -> Id {
+        #[inline]
+        fn mix(mut h: u64) -> u64 {
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+            h ^= h >> 33;
+            h
+        }
+        let mut h1: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut h2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+        for chunk in data.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            let v = u64::from_le_bytes(buf);
+            h1 = mix(h1 ^ v).rotate_left(27).wrapping_mul(0x1000_0000_01B3);
+            h2 = mix(h2.wrapping_add(v)).rotate_left(31) ^ h1;
+        }
+        h1 = mix(h1 ^ data.len() as u64);
+        h2 = mix(h2 ^ (data.len() as u64).rotate_left(32));
+        Id(((h1 as u128) << 64) | h2 as u128)
+    }
+
+    /// Draw a uniformly random identifier (used for node id assignment).
+    pub fn random(rng: &mut peerstripe_sim::DetRng) -> Id {
+        Id(((rng.next_u64() as u128) << 64) | rng.next_u64() as u128)
+    }
+
+    /// Circular distance between two identifiers (the shorter way around the ring).
+    #[inline]
+    pub fn distance(self, other: Id) -> u128 {
+        let d = self.0.wrapping_sub(other.0);
+        let e = other.0.wrapping_sub(self.0);
+        d.min(e)
+    }
+
+    /// Clockwise (increasing-id, wrapping) distance from `self` to `other`.
+    #[inline]
+    pub fn clockwise_distance(self, other: Id) -> u128 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// The `i`-th digit (base `2^DIGIT_BITS`), counting from the most significant
+    /// digit (`i = 0`) — the order in which Pastry prefix routing consumes digits.
+    #[inline]
+    pub fn digit(self, i: u32) -> u8 {
+        debug_assert!(i < NUM_DIGITS);
+        let shift = ID_BITS - DIGIT_BITS * (i + 1);
+        ((self.0 >> shift) & ((1 << DIGIT_BITS) - 1) as u128) as u8
+    }
+
+    /// Length (in digits) of the shared most-significant-digit prefix of two ids.
+    pub fn shared_prefix_digits(self, other: Id) -> u32 {
+        let x = self.0 ^ other.0;
+        if x == 0 {
+            return NUM_DIGITS;
+        }
+        let lz = x.leading_zeros();
+        lz / DIGIT_BITS
+    }
+
+    /// Replace the digit at position `i` with `d`, zeroing all less significant
+    /// digits.  Used to compute the lower bound of the id range whose members
+    /// share the first `i` digits with `self` and have digit `d` at position `i`.
+    pub fn with_digit_floor(self, i: u32, d: u8) -> Id {
+        debug_assert!(i < NUM_DIGITS);
+        debug_assert!(u32::from(d) < (1 << DIGIT_BITS));
+        let shift = ID_BITS - DIGIT_BITS * (i + 1);
+        let keep_mask: u128 = if i == 0 {
+            0
+        } else {
+            !0u128 << (ID_BITS - DIGIT_BITS * i)
+        };
+        Id((self.0 & keep_mask) | ((d as u128) << shift))
+    }
+
+    /// The inclusive upper bound of the id range described by
+    /// [`Id::with_digit_floor`]: same prefix and digit, all remaining digits maxed.
+    pub fn with_digit_ceil(self, i: u32, d: u8) -> Id {
+        let floor = self.with_digit_floor(i, d).0;
+        let shift = ID_BITS - DIGIT_BITS * (i + 1);
+        let fill: u128 = if shift == 0 { 0 } else { (1u128 << shift) - 1 };
+        Id(floor | fill)
+    }
+
+    /// Midpoint of the clockwise arc from `self` to `other`; used when a failed
+    /// node's key range is split between its two immediate neighbours.
+    pub fn midpoint_clockwise(self, other: Id) -> Id {
+        let span = self.clockwise_distance(other);
+        Id(self.0.wrapping_add(span / 2))
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Id({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peerstripe_sim::DetRng;
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        assert_eq!(Id::hash("file_1_0"), Id::hash("file_1_0"));
+        assert_ne!(Id::hash("file_1_0"), Id::hash("file_1_1"));
+        assert_ne!(Id::hash("a"), Id::hash("b"));
+        // Uniformity smoke test: top digit should take many values across keys.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            seen.insert(Id::hash(&format!("chunk_{i}")).digit(0));
+        }
+        assert!(seen.len() >= 14, "top digits should be well spread, got {}", seen.len());
+    }
+
+    #[test]
+    fn hash_collision_free_over_many_names() {
+        let mut set = std::collections::HashSet::new();
+        for i in 0..100_000u32 {
+            set.insert(Id::hash(&format!("testImageFile_{i}_3")));
+        }
+        assert_eq!(set.len(), 100_000);
+    }
+
+    #[test]
+    fn circular_distance_symmetry_and_wrap() {
+        let a = Id(10);
+        let b = Id(u128::MAX - 5);
+        assert_eq!(a.distance(b), 16);
+        assert_eq!(b.distance(a), 16);
+        assert_eq!(a.distance(a), 0);
+        assert_eq!(Id(0).distance(Id(u128::MAX / 2)), u128::MAX / 2);
+    }
+
+    #[test]
+    fn clockwise_distance_wraps() {
+        let a = Id(u128::MAX - 1);
+        let b = Id(3);
+        assert_eq!(a.clockwise_distance(b), 5);
+        assert_eq!(b.clockwise_distance(a), u128::MAX - 4);
+    }
+
+    #[test]
+    fn digits_round_trip() {
+        let id = Id(0xABCD_EF01_2345_6789_ABCD_EF01_2345_6789);
+        assert_eq!(id.digit(0), 0xA);
+        assert_eq!(id.digit(1), 0xB);
+        assert_eq!(id.digit(7), 0x1);
+        assert_eq!(id.digit(NUM_DIGITS - 1), 0x9);
+    }
+
+    #[test]
+    fn shared_prefix_digits_cases() {
+        let a = Id(0xAB00_0000_0000_0000_0000_0000_0000_0000);
+        let b = Id(0xAB10_0000_0000_0000_0000_0000_0000_0000);
+        assert_eq!(a.shared_prefix_digits(b), 2);
+        assert_eq!(a.shared_prefix_digits(a), NUM_DIGITS);
+        let c = Id(0x0B00_0000_0000_0000_0000_0000_0000_0000);
+        assert_eq!(a.shared_prefix_digits(c), 0);
+    }
+
+    #[test]
+    fn digit_floor_and_ceil_bound_the_range() {
+        let key = Id(0xABCD_0000_0000_0000_0000_0000_0000_1234);
+        let floor = key.with_digit_floor(2, 0x7);
+        let ceil = key.with_digit_ceil(2, 0x7);
+        assert_eq!(floor.digit(0), 0xA);
+        assert_eq!(floor.digit(1), 0xB);
+        assert_eq!(floor.digit(2), 0x7);
+        assert!(floor <= ceil);
+        // Every id in [floor, ceil] shares the 3-digit prefix A,B,7.
+        assert_eq!(ceil.digit(2), 0x7);
+        assert_eq!(ceil.0 - floor.0, (1u128 << (ID_BITS - 12)) - 1);
+        // Digit position 0 keeps nothing of the original id.
+        let f0 = key.with_digit_floor(0, 0x3);
+        assert_eq!(f0.digit(0), 0x3);
+        assert_eq!(f0.0 & ((1u128 << 124) - 1), 0);
+    }
+
+    #[test]
+    fn midpoint_splits_arc() {
+        let a = Id(100);
+        let b = Id(200);
+        assert_eq!(a.midpoint_clockwise(b), Id(150));
+        // Wrapping arc.
+        let c = Id(u128::MAX - 9);
+        let d = Id(10);
+        let mid = c.midpoint_clockwise(d);
+        // The clockwise arc from MAX-9 to 10 spans 20 ids; its midpoint wraps to 0.
+        assert_eq!(mid, Id((u128::MAX - 9).wrapping_add(10)));
+    }
+
+    #[test]
+    fn random_ids_unique() {
+        let mut rng = DetRng::new(5);
+        let mut set = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            set.insert(Id::random(&mut rng));
+        }
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let id = Id(0xAB);
+        assert_eq!(format!("{id}"), format!("{:032x}", 0xABu32));
+        assert!(format!("{id:?}").starts_with("Id("));
+    }
+}

@@ -1,0 +1,32 @@
+//! A Pastry-semantics structured p2p overlay simulator.
+//!
+//! The paper's storage system (and its PAST/CFS baselines) sit on top of the
+//! Pastry distributed hash table: every participant gets a uniformly random
+//! identifier, every stored object a key in the same circular space, and a key
+//! is mapped to the live node with the numerically closest identifier.  This
+//! crate reproduces the pieces of Pastry the evaluation depends on:
+//!
+//! * [`id::Id`] — the circular identifier space, digit arithmetic and hashing;
+//! * [`ring::IdRing`] — live-membership ring with routing, replica-set, leaf-set
+//!   and failure-takeover queries;
+//! * [`routing`] — greedy prefix routing (hop counting) and proximity-aware
+//!   routing tables;
+//! * [`node`] — participants with synthetic network coordinates (the proximity
+//!   metric behind Pastry's locality properties);
+//! * [`network::OverlaySim`] — the node-population simulator with join/failure
+//!   churn and traffic statistics, standing in for FreePastry's simulator mode.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod id;
+pub mod network;
+pub mod node;
+pub mod ring;
+pub mod routing;
+
+pub use id::Id;
+pub use network::{OverlaySim, OverlayStats};
+pub use node::{Coord, NodeInfo};
+pub use ring::{IdRing, LeafSet, NodeRef, Takeover};
+pub use routing::RoutingTable;

@@ -1,0 +1,361 @@
+//! The overlay network simulator.
+//!
+//! [`OverlaySim`] plays the role of FreePastry's "simulator mode" used in the
+//! paper (Section 6.1): a population of directly connected nodes, each running
+//! an instance of the protocol code, with instantaneous message delivery but
+//! faithful *routing semantics* (key → numerically closest live node), leaf-set
+//! maintenance, proximity, and scripted churn.  The storage systems (PeerStripe,
+//! PAST, CFS) are layered on top of this simulator; it records lookup-message
+//! statistics so the experiments can charge per-lookup overheads.
+
+use crate::id::Id;
+use crate::node::{Coord, NodeInfo};
+use crate::ring::{IdRing, LeafSet, NodeRef, Takeover};
+use crate::routing::{route_hops, RoutingTable};
+use peerstripe_sim::{DetRng, OnlineStats};
+
+/// Statistics about overlay traffic accumulated by a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct OverlayStats {
+    /// Number of `lookUp` / `getCapacity`-style routed messages issued.
+    pub lookups: u64,
+    /// Number of node joins processed.
+    pub joins: u64,
+    /// Number of node failures processed.
+    pub failures: u64,
+    /// Distribution of hop counts for lookups routed with hop accounting.
+    pub hops: OnlineStats,
+}
+
+/// A simulated structured overlay of contributory nodes.
+#[derive(Debug, Clone)]
+pub struct OverlaySim {
+    nodes: Vec<NodeInfo>,
+    ring: IdRing,
+    stats: OverlayStats,
+}
+
+impl OverlaySim {
+    /// Create an overlay with `n` nodes with uniformly random ids and coordinates.
+    pub fn new(n: usize, rng: &mut DetRng) -> Self {
+        let mut sim = OverlaySim {
+            nodes: Vec::with_capacity(n),
+            ring: IdRing::new(),
+            stats: OverlayStats::default(),
+        };
+        for _ in 0..n {
+            sim.join(rng);
+        }
+        sim
+    }
+
+    /// Create an empty overlay.
+    pub fn empty() -> Self {
+        OverlaySim {
+            nodes: Vec::new(),
+            ring: IdRing::new(),
+            stats: OverlayStats::default(),
+        }
+    }
+
+    /// Total number of nodes ever joined (live and failed).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of currently live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Access a node's info.
+    pub fn node(&self, node: NodeRef) -> &NodeInfo {
+        &self.nodes[node]
+    }
+
+    /// All node infos (live and failed), indexed by [`NodeRef`].
+    pub fn nodes(&self) -> &[NodeInfo] {
+        &self.nodes
+    }
+
+    /// Iterator over the [`NodeRef`]s of live nodes.
+    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeRef> + '_ {
+        self.ring.iter().map(|(_, n)| n)
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &OverlayStats {
+        &self.stats
+    }
+
+    /// Reset traffic statistics (e.g. between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = OverlayStats::default();
+    }
+
+    /// Direct access to the id ring (read-only).
+    pub fn ring(&self) -> &IdRing {
+        &self.ring
+    }
+
+    /// A new node joins the overlay (Figure 1 of the paper): it is assigned a
+    /// random id and coordinate and becomes immediately reachable.
+    pub fn join(&mut self, rng: &mut DetRng) -> NodeRef {
+        loop {
+            let id = Id::random(rng);
+            if !self.ring.contains(id) {
+                let node_ref = self.nodes.len();
+                self.nodes.push(NodeInfo::new(id, Coord::random(rng)));
+                self.ring.insert(id, node_ref);
+                self.stats.joins += 1;
+                return node_ref;
+            }
+        }
+    }
+
+    /// A previously failed node rejoins with its old identifier.
+    pub fn rejoin(&mut self, node: NodeRef) {
+        if !self.nodes[node].alive {
+            self.nodes[node].alive = true;
+            self.ring.insert(self.nodes[node].id, node);
+            self.stats.joins += 1;
+        }
+    }
+
+    /// Fail a node, removing it from the ring.  Returns the takeover description
+    /// (who inherits its key space), or `None` if the node was already dead or is
+    /// the last live node.
+    pub fn fail(&mut self, node: NodeRef) -> Option<Takeover> {
+        if !self.nodes[node].alive {
+            return None;
+        }
+        let id = self.nodes[node].id;
+        let takeover = self.ring.takeover_on_failure(id);
+        self.nodes[node].alive = false;
+        self.ring.remove(id);
+        self.stats.failures += 1;
+        takeover
+    }
+
+    /// Fail `count` distinct, uniformly chosen live nodes; returns the failed refs
+    /// in failure order (paired with their takeovers).
+    pub fn fail_random(
+        &mut self,
+        count: usize,
+        rng: &mut DetRng,
+    ) -> Vec<(NodeRef, Option<Takeover>)> {
+        let mut live: Vec<NodeRef> = self.alive_nodes().collect();
+        rng.shuffle(&mut live);
+        live.truncate(count);
+        live.into_iter()
+            .map(|n| {
+                let t = self.fail(n);
+                (n, t)
+            })
+            .collect()
+    }
+
+    /// True if a node is live.
+    pub fn is_alive(&self, node: NodeRef) -> bool {
+        self.nodes[node].alive
+    }
+
+    /// Route a key to the live node numerically closest to it.
+    ///
+    /// Increments the lookup-message counter: every chunk/block store or retrieve
+    /// in the storage systems costs one routed `lookUp` message (Section 4.1).
+    pub fn route(&mut self, key: Id) -> Option<NodeRef> {
+        self.stats.lookups += 1;
+        self.ring.route(key).map(|(_, n)| n)
+    }
+
+    /// Route a key without counting it as protocol traffic (internal queries).
+    pub fn route_quiet(&self, key: Id) -> Option<NodeRef> {
+        self.ring.route(key).map(|(_, n)| n)
+    }
+
+    /// Route a key and also record the number of overlay hops the lookup takes
+    /// from `from`.  Used where lookup latency matters (Condor case study).
+    pub fn route_with_hops(&mut self, from: NodeRef, key: Id) -> Option<(NodeRef, usize)> {
+        self.stats.lookups += 1;
+        let from_id = self.nodes[from].id;
+        let target = self.ring.route(key).map(|(_, n)| n)?;
+        let hops = route_hops(&self.ring, from_id, key);
+        self.stats.hops.push(hops as f64);
+        Some((target, hops))
+    }
+
+    /// The `k` live nodes numerically closest to a key (replica targets).
+    pub fn k_closest(&self, key: Id, k: usize) -> Vec<NodeRef> {
+        self.ring.k_closest(key, k).into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// The `k` live successors of a key (CFS replica placement).
+    pub fn successors(&self, key: Id, k: usize) -> Vec<NodeRef> {
+        self.ring.successors(key, k).into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// The leaf set of a live node.
+    pub fn leaf_set(&self, node: NodeRef, l: usize) -> LeafSet {
+        self.ring.leaf_set(self.nodes[node].id, l)
+    }
+
+    /// Proximity (synthetic latency metric) between two nodes.
+    pub fn proximity(&self, a: NodeRef, b: NodeRef) -> f64 {
+        self.nodes[a].coord.distance(&self.nodes[b].coord)
+    }
+
+    /// One-way latency in milliseconds between two nodes.
+    pub fn latency_ms(&self, a: NodeRef, b: NodeRef) -> f64 {
+        self.nodes[a].coord.latency_ms(&self.nodes[b].coord)
+    }
+
+    /// From `candidates`, the `k` nodes closest (by proximity) to `from`.
+    pub fn closest_by_proximity(
+        &self,
+        from: NodeRef,
+        candidates: &[NodeRef],
+        k: usize,
+    ) -> Vec<NodeRef> {
+        let origin = self.nodes[from].coord;
+        let mut with_dist: Vec<(f64, NodeRef)> = candidates
+            .iter()
+            .filter(|&&c| c != from)
+            .map(|&c| (origin.distance(&self.nodes[c].coord), c))
+            .collect();
+        with_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        with_dist.into_iter().take(k).map(|(_, c)| c).collect()
+    }
+
+    /// Build the proximity-aware routing table of a live node.
+    pub fn routing_table(&self, node: NodeRef, max_rows: u32) -> RoutingTable {
+        RoutingTable::build(self.nodes[node].id, &self.ring, &self.nodes, max_rows)
+    }
+
+    /// A uniformly random live node, if any.
+    pub fn random_alive(&self, rng: &mut DetRng) -> Option<NodeRef> {
+        let live: Vec<NodeRef> = self.alive_nodes().collect();
+        rng.choose(&live).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_requested_population() {
+        let mut rng = DetRng::new(1);
+        let sim = OverlaySim::new(1000, &mut rng);
+        assert_eq!(sim.node_count(), 1000);
+        assert_eq!(sim.alive_count(), 1000);
+        assert_eq!(sim.stats().joins, 1000);
+    }
+
+    #[test]
+    fn route_counts_lookups() {
+        let mut rng = DetRng::new(2);
+        let mut sim = OverlaySim::new(100, &mut rng);
+        for i in 0..50 {
+            assert!(sim.route(Id::hash(&format!("file_{i}"))).is_some());
+        }
+        assert_eq!(sim.stats().lookups, 50);
+        sim.reset_stats();
+        assert_eq!(sim.stats().lookups, 0);
+    }
+
+    #[test]
+    fn failed_nodes_not_routed_to() {
+        let mut rng = DetRng::new(3);
+        let mut sim = OverlaySim::new(200, &mut rng);
+        let failed = sim.fail_random(50, &mut rng);
+        assert_eq!(failed.len(), 50);
+        assert_eq!(sim.alive_count(), 150);
+        for i in 0..200 {
+            let target = sim.route(Id::hash(&format!("k{i}"))).unwrap();
+            assert!(sim.is_alive(target), "lookups must land on live nodes");
+        }
+    }
+
+    #[test]
+    fn fail_and_rejoin_round_trip() {
+        let mut rng = DetRng::new(4);
+        let mut sim = OverlaySim::new(10, &mut rng);
+        let victim = 3;
+        let takeover = sim.fail(victim);
+        assert!(takeover.is_some());
+        assert!(!sim.is_alive(victim));
+        assert_eq!(sim.alive_count(), 9);
+        assert!(sim.fail(victim).is_none(), "double-fail is a no-op");
+        sim.rejoin(victim);
+        assert!(sim.is_alive(victim));
+        assert_eq!(sim.alive_count(), 10);
+    }
+
+    #[test]
+    fn keys_remap_to_takeover_inheritors() {
+        let mut rng = DetRng::new(5);
+        let mut sim = OverlaySim::new(500, &mut rng);
+        // Pick a key, find its root, fail the root, and check the new root is one
+        // of the takeover inheritors.
+        let key = Id::hash("big-file_0_1");
+        let root = sim.route_quiet(key).unwrap();
+        let takeover = sim.fail(root).unwrap();
+        let new_root = sim.route_quiet(key).unwrap();
+        let inheritor = takeover.inheritor_of(key).1;
+        assert_eq!(new_root, inheritor);
+    }
+
+    #[test]
+    fn route_with_hops_accumulates_stats() {
+        let mut rng = DetRng::new(6);
+        let mut sim = OverlaySim::new(1000, &mut rng);
+        let from = sim.random_alive(&mut rng).unwrap();
+        for i in 0..20 {
+            sim.route_with_hops(from, Id::hash(&format!("f{i}"))).unwrap();
+        }
+        assert_eq!(sim.stats().hops.count(), 20);
+        assert!(sim.stats().hops.mean() < 10.0);
+    }
+
+    #[test]
+    fn proximity_selection_is_sorted() {
+        let mut rng = DetRng::new(7);
+        let sim = OverlaySim::new(100, &mut rng);
+        let from = 0;
+        let candidates: Vec<NodeRef> = (1..100).collect();
+        let nearest = sim.closest_by_proximity(from, &candidates, 10);
+        assert_eq!(nearest.len(), 10);
+        for w in nearest.windows(2) {
+            assert!(sim.proximity(from, w[0]) <= sim.proximity(from, w[1]));
+        }
+        // Every non-selected candidate is at least as far as the furthest selected.
+        let max_sel = sim.proximity(from, *nearest.last().unwrap());
+        for c in candidates.iter().filter(|c| !nearest.contains(c)) {
+            assert!(sim.proximity(from, *c) >= max_sel - 1e-12);
+        }
+    }
+
+    #[test]
+    fn successors_and_k_closest_are_live() {
+        let mut rng = DetRng::new(8);
+        let mut sim = OverlaySim::new(300, &mut rng);
+        sim.fail_random(100, &mut rng);
+        let key = Id::hash("x");
+        for n in sim.k_closest(key, 5) {
+            assert!(sim.is_alive(n));
+        }
+        for n in sim.successors(key, 5) {
+            assert!(sim.is_alive(n));
+        }
+    }
+
+    #[test]
+    fn leaf_set_from_sim() {
+        let mut rng = DetRng::new(9);
+        let sim = OverlaySim::new(64, &mut rng);
+        let ls = sim.leaf_set(5, 8);
+        assert_eq!(ls.len(), 8);
+        assert!(!ls.contains(sim.node(5).id));
+    }
+}

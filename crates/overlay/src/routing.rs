@@ -1,0 +1,303 @@
+//! Pastry prefix routing: hop-by-hop path simulation and routing tables.
+//!
+//! The storage experiments mostly need only the *endpoint* of a lookup (the node
+//! a key maps to, provided by [`crate::ring::IdRing::route`]).  Two things need
+//! more:
+//!
+//! * the lookup-overhead accounting of the Condor case study (Table 4) charges a
+//!   per-lookup cost that grows with the number of overlay hops, so
+//!   [`route_path`] simulates the greedy prefix routing Pastry performs and
+//!   returns the full hop sequence;
+//! * the multicast tree of Section 4.4.1 is built from the *proximity-aware
+//!   routing table*, so [`RoutingTable`] materialises a node's table with
+//!   proximity-based entry selection.
+
+use crate::id::{Id, DIGIT_BITS, NUM_DIGITS};
+use crate::node::NodeInfo;
+use crate::ring::{IdRing, NodeRef};
+
+/// Number of entries per routing-table row (`2^b - 1` foreign digits).
+pub const ROW_ENTRIES: usize = (1 << DIGIT_BITS) - 1;
+
+/// Simulate Pastry's greedy prefix routing from `from` towards `key`.
+///
+/// At each hop the current node forwards to a live node whose id shares at least
+/// one more leading digit with the key than the current node does (found through
+/// a range query on the id ring, which is exactly the set of nodes a correctly
+/// populated routing table would contain an entry for).  If no such node exists,
+/// routing falls through to the numerically-closest rule on the leaf set, as in
+/// Pastry.  Returns the sequence of node ids visited, starting with `from` and
+/// ending at the key's root (the node returned by `ring.route(key)`).
+pub fn route_path(ring: &IdRing, from: Id, key: Id) -> Vec<Id> {
+    let mut path = vec![from];
+    let Some((root, _)) = ring.route(key) else {
+        return path;
+    };
+    let mut current = from;
+    // NUM_DIGITS is a hard upper bound on prefix-improving hops; the +2 allows the
+    // final numerical-closeness correction hops.
+    for _ in 0..(NUM_DIGITS + 2) {
+        if current == root {
+            break;
+        }
+        let shared = current.shared_prefix_digits(key);
+        let next = next_hop(ring, current, key, shared);
+        match next {
+            Some(n) if n != current => {
+                path.push(n);
+                current = n;
+            }
+            _ => {
+                // No better prefix match exists; deliver to the root directly
+                // (leaf-set hop).
+                if current != root {
+                    path.push(root);
+                }
+                break;
+            }
+        }
+    }
+    path
+}
+
+/// Number of overlay hops (edges) for a lookup of `key` starting at `from`.
+pub fn route_hops(ring: &IdRing, from: Id, key: Id) -> usize {
+    route_path(ring, from, key).len() - 1
+}
+
+/// Find a live node sharing at least `shared + 1` leading digits with `key`,
+/// numerically closest to `key` among them.
+fn next_hop(ring: &IdRing, current: Id, key: Id, shared: u32) -> Option<Id> {
+    if shared >= NUM_DIGITS {
+        return None;
+    }
+    // The candidates for the routing-table entry at row `shared` are exactly the
+    // live ids in the contiguous range sharing the first `shared + 1` digits of key.
+    let digit = key.digit(shared);
+    let lo = key.with_digit_floor(shared, digit);
+    let hi = key.with_digit_ceil(shared, digit);
+    let mut best: Option<Id> = None;
+    let mut best_dist = u128::MAX;
+    for (id, _) in ring.iter_range(lo, hi) {
+        if id == current {
+            continue;
+        }
+        let d = key.distance(id);
+        if d < best_dist {
+            best_dist = d;
+            best = Some(id);
+        }
+    }
+    best
+}
+
+/// One node's Pastry routing table.
+///
+/// Row `r` holds, for each digit value `d` different from the node's own digit at
+/// position `r`, a node whose id shares the first `r` digits with the owner and
+/// has digit `d` at position `r` — selected to be the *proximity-closest* such
+/// node, matching Pastry's locality property that the paper's multicast tree
+/// construction leans on.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    /// Owner node id.
+    pub owner: Id,
+    /// `rows[r][d]` is the entry for digit `d` at row `r` (None when no such node
+    /// exists or `d` is the owner's own digit).
+    pub rows: Vec<Vec<Option<(Id, NodeRef)>>>,
+}
+
+impl RoutingTable {
+    /// Build the routing table of `owner` over the current live membership.
+    ///
+    /// `nodes` provides coordinates for the proximity-aware entry choice.
+    /// `max_rows` bounds the number of rows materialised (the top rows are the
+    /// only ones with many candidates; deeper rows are almost always empty in a
+    /// 10 000-node network, so callers typically pass 8–16).
+    pub fn build(owner: Id, ring: &IdRing, nodes: &[NodeInfo], max_rows: u32) -> Self {
+        let owner_coord = nodes
+            .iter()
+            .find(|n| n.id == owner)
+            .map(|n| n.coord)
+            .unwrap_or_default();
+        let rows_count = max_rows.min(NUM_DIGITS);
+        let mut rows = Vec::with_capacity(rows_count as usize);
+        for r in 0..rows_count {
+            let own_digit = owner.digit(r);
+            let mut row: Vec<Option<(Id, NodeRef)>> = vec![None; 1 << DIGIT_BITS];
+            for d in 0..(1u8 << DIGIT_BITS) {
+                if d == own_digit {
+                    continue;
+                }
+                let lo = owner.with_digit_floor(r, d);
+                let hi = owner.with_digit_ceil(r, d);
+                let mut best: Option<(Id, NodeRef)> = None;
+                let mut best_prox = f64::INFINITY;
+                for (id, node_ref) in ring.iter_range(lo, hi) {
+                    let prox = nodes
+                        .get(node_ref)
+                        .map(|n| owner_coord.distance(&n.coord))
+                        .unwrap_or(f64::INFINITY);
+                    if prox < best_prox {
+                        best_prox = prox;
+                        best = Some((id, node_ref));
+                    }
+                }
+                row[d as usize] = best;
+            }
+            rows.push(row);
+        }
+        RoutingTable { owner, rows }
+    }
+
+    /// All populated entries of the table, flattened.
+    pub fn entries(&self) -> Vec<(Id, NodeRef)> {
+        self.rows
+            .iter()
+            .flat_map(|row| row.iter().flatten().copied())
+            .collect()
+    }
+
+    /// The entry used to route towards `key` (the row for the shared-prefix
+    /// length, column for the key's next digit), if populated.
+    pub fn entry_towards(&self, key: Id) -> Option<(Id, NodeRef)> {
+        let shared = self.owner.shared_prefix_digits(key);
+        let row = self.rows.get(shared as usize)?;
+        row.get(key.digit(shared) as usize).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Coord;
+    use peerstripe_sim::DetRng;
+
+    fn build_network(n: usize, seed: u64) -> (IdRing, Vec<NodeInfo>) {
+        let mut rng = DetRng::new(seed);
+        let mut ring = IdRing::new();
+        let mut nodes = Vec::with_capacity(n);
+        while nodes.len() < n {
+            let id = Id::random(&mut rng);
+            if ring.insert(id, nodes.len()) {
+                nodes.push(NodeInfo::new(id, Coord::random(&mut rng)));
+            }
+        }
+        (ring, nodes)
+    }
+
+    #[test]
+    fn route_path_terminates_at_root() {
+        let (ring, nodes) = build_network(500, 1);
+        let mut rng = DetRng::new(2);
+        for _ in 0..100 {
+            let from = nodes[rng.index(nodes.len())].id;
+            let key = Id::random(&mut rng);
+            let path = route_path(&ring, from, key);
+            let (root, _) = ring.route(key).unwrap();
+            assert_eq!(*path.last().unwrap(), root);
+            assert_eq!(path[0], from);
+        }
+    }
+
+    #[test]
+    fn route_hops_scale_logarithmically() {
+        // Pastry expects ~log_16(N) hops; for N = 2000 that is ~2.7.  Allow slack
+        // but ensure it is far below linear.
+        let (ring, nodes) = build_network(2000, 3);
+        let mut rng = DetRng::new(4);
+        let mut total = 0usize;
+        let samples = 200;
+        for _ in 0..samples {
+            let from = nodes[rng.index(nodes.len())].id;
+            let key = Id::random(&mut rng);
+            total += route_hops(&ring, from, key);
+        }
+        let avg = total as f64 / samples as f64;
+        assert!(avg > 0.5, "average hops {avg} too low");
+        assert!(avg < 8.0, "average hops {avg} should be logarithmic, not linear");
+    }
+
+    #[test]
+    fn route_to_self_key_is_zero_hops() {
+        let (ring, nodes) = build_network(100, 5);
+        let from = nodes[0].id;
+        assert_eq!(route_hops(&ring, from, from), 0);
+    }
+
+    #[test]
+    fn path_hops_share_growing_prefix_until_delivery() {
+        let (ring, nodes) = build_network(1000, 6);
+        let mut rng = DetRng::new(7);
+        for _ in 0..50 {
+            let from = nodes[rng.index(nodes.len())].id;
+            let key = Id::random(&mut rng);
+            let path = route_path(&ring, from, key);
+            // Prefix length must be non-decreasing except possibly the final
+            // leaf-set/numerical hop.
+            let prefixes: Vec<u32> = path.iter().map(|id| id.shared_prefix_digits(key)).collect();
+            for w in prefixes.windows(2).take(prefixes.len().saturating_sub(2)) {
+                assert!(w[1] >= w[0], "prefix should not shrink mid-route: {prefixes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_table_entries_share_required_prefix() {
+        let (ring, nodes) = build_network(800, 8);
+        let owner = nodes[13].id;
+        let table = RoutingTable::build(owner, &ring, &nodes, 8);
+        for (r, row) in table.rows.iter().enumerate() {
+            for (d, entry) in row.iter().enumerate() {
+                if let Some((id, _)) = entry {
+                    assert!(id.shared_prefix_digits(owner) >= r as u32);
+                    assert_eq!(id.digit(r as u32) as usize, d);
+                    assert_ne!(*id, owner);
+                }
+            }
+        }
+        assert!(!table.entries().is_empty());
+    }
+
+    #[test]
+    fn routing_table_prefers_proximate_entries() {
+        let (ring, nodes) = build_network(800, 9);
+        let owner = nodes[7].id;
+        let owner_coord = nodes[7].coord;
+        let table = RoutingTable::build(owner, &ring, &nodes, 2);
+        // For row 0 every live node is a candidate for its top-digit slot, so the
+        // chosen entry must be the proximity-minimal node with that digit.
+        let row0 = &table.rows[0];
+        for d in 0..16u8 {
+            if d == owner.digit(0) {
+                continue;
+            }
+            if let Some((chosen, chosen_ref)) = row0[d as usize] {
+                let best = nodes
+                    .iter()
+                    .filter(|n| n.id.digit(0) == d && n.id != owner)
+                    .map(|n| owner_coord.distance(&n.coord))
+                    .fold(f64::INFINITY, f64::min);
+                let got = owner_coord.distance(&nodes[chosen_ref].coord);
+                assert!(
+                    (got - best).abs() < 1e-12,
+                    "slot {d}: chosen {chosen} at {got}, best {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entry_towards_routes_by_prefix() {
+        let (ring, nodes) = build_network(500, 10);
+        let owner = nodes[0].id;
+        let table = RoutingTable::build(owner, &ring, &nodes, 8);
+        let mut rng = DetRng::new(11);
+        for _ in 0..50 {
+            let key = Id::random(&mut rng);
+            if let Some((next, _)) = table.entry_towards(key) {
+                assert!(next.shared_prefix_digits(key) > owner.shared_prefix_digits(key));
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Workload synthesis: file traces and contributed-capacity distributions.
+//!
+//! The paper drives its 10 000-node simulations with (a) a large-file trace
+//! (1.2 M files ≥ 50 MB, mean 243 MB, σ 55 MB) and (b) node capacities drawn
+//! from N(45 GB, 10 GB); the Condor case study uses a 32-node pool contributing
+//! Uniform(2 GB, 15 GB) each.  Only the aggregate statistics of the original
+//! trace are published, so this crate synthesises workloads with matching
+//! statistics (see DESIGN.md, substitution table).
+//!
+//! * [`filetrace`] — [`TraceConfig`]/[`Trace`] generation, statistics, JSON
+//!   import/export;
+//! * [`capacity`] — [`CapacityModel`] for per-node contributed storage.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod capacity;
+pub mod filetrace;
+
+pub use capacity::{total_capacity, CapacityModel};
+pub use filetrace::{FileRecord, Trace, TraceConfig, TraceStats};

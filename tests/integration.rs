@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: full store → churn → recover → retrieve cycles
+//! and the paper's headline qualitative claims at small scale.
+
+use peerstripe::baselines::{Cfs, CfsConfig, Past, PastConfig};
+use peerstripe::core::churn::AvailabilityTracker;
+use peerstripe::core::{
+    ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem,
+};
+use peerstripe::multicast::{BulletConfig, BulletSim, MulticastTree};
+use peerstripe::sim::{ByteSize, DetRng};
+use peerstripe::trace::{CapacityModel, FileRecord, TraceConfig};
+
+fn cluster(nodes: usize, capacity: ByteSize, seed: u64) -> peerstripe::core::StorageCluster {
+    let mut rng = DetRng::new(seed);
+    ClusterConfig {
+        nodes,
+        capacity: CapacityModel::Fixed(capacity),
+        report_fraction: 1.0,
+        track_objects: true,
+    }
+    .build(&mut rng)
+}
+
+#[test]
+fn peerstripe_stores_what_past_cannot() {
+    // The headline capability: a file larger than any contributor.
+    let file = FileRecord::new("telescope-run.raw", ByteSize::gb(5));
+
+    let mut past = Past::new(cluster(40, ByteSize::gb(1), 1), PastConfig::default());
+    assert!(!past.store_file(&file).is_stored(), "PAST cannot store a 5 GB file on 1 GB nodes");
+
+    let mut ours = PeerStripe::new(cluster(40, ByteSize::gb(1), 1), PeerStripeConfig::default());
+    assert!(ours.store_file(&file).is_stored(), "PeerStripe stripes it over many nodes");
+    assert!(ours.is_file_available("telescope-run.raw"));
+
+    let mut cfs = Cfs::new(cluster(40, ByteSize::gb(1), 1), CfsConfig::paper_simulation());
+    assert!(cfs.store_file(&file).is_stored(), "CFS can also store it, with many more chunks");
+    let cfs_chunks = cfs.metrics().mean_chunks_per_file();
+    let our_chunks = ours.metrics().mean_chunks_per_file();
+    assert!(
+        cfs_chunks > 10.0 * our_chunks,
+        "CFS needs far more chunks ({cfs_chunks}) than PeerStripe ({our_chunks})"
+    );
+}
+
+#[test]
+fn full_lifecycle_store_fail_recover_retrieve() {
+    // Byte-level lifecycle across overlay + erasure + storage + recovery.
+    let mut ps = PeerStripe::new(
+        cluster(50, ByteSize::mb(300), 2),
+        PeerStripeConfig::default().with_coding(CodingPolicy::xor_2_3()),
+    );
+    let mut rng = DetRng::new(3);
+    let data: Vec<u8> = (0..1_500_000).map(|_| rng.next_u32() as u8).collect();
+    assert!(ps.store_data("genome.fasta", &data).is_stored());
+
+    // Fail three nodes holding blocks, recovering after each failure.
+    for _ in 0..3 {
+        let victim = ps
+            .manifest("genome.fasta")
+            .unwrap()
+            .all_blocks()
+            .map(|b| b.node)
+            .next()
+            .unwrap();
+        let takeover = ps.cluster_mut().fail_node(victim).unwrap();
+        let report = ps.handle_node_failure(victim, &takeover);
+        assert_eq!(report.chunks_lost, 0, "coding + recovery must not lose chunks");
+        assert!(ps.is_file_available("genome.fasta"));
+    }
+    assert_eq!(ps.retrieve_data("genome.fasta").unwrap(), data);
+}
+
+#[test]
+fn availability_ordering_matches_figure_10() {
+    let nodes = 300;
+    let files = nodes * 10;
+    let mut unavailable = Vec::new();
+    for coding in [CodingPolicy::None, CodingPolicy::xor_2_3(), CodingPolicy::online_default()] {
+        let mut rng = DetRng::new(5);
+        let c = ClusterConfig::scaled(nodes).build(&mut rng);
+        let mut ps = PeerStripe::new(c, PeerStripeConfig::default().with_coding(coding));
+        let trace = TraceConfig::scaled(files).generate(6);
+        for f in &trace.files {
+            let _ = ps.store_file(f);
+        }
+        let mut tracker = AvailabilityTracker::build(ps.manifests());
+        let sizes = AvailabilityTracker::file_sizes(ps.manifests());
+        let mut fail_rng = DetRng::new(7);
+        for (node, _) in ps.cluster_mut().fail_random(nodes / 10, &mut fail_rng) {
+            tracker.fail_node(node, &sizes);
+        }
+        unavailable.push(tracker.unavailable_pct());
+    }
+    assert!(unavailable[0] > unavailable[1], "no coding loses more than XOR: {unavailable:?}");
+    assert!(unavailable[1] >= unavailable[2], "XOR loses at least as much as online: {unavailable:?}");
+}
+
+#[test]
+fn multicast_tree_from_overlay_disseminates_replicas() {
+    // Build a locality-aware tree over a real overlay and push a chunk through it.
+    let mut rng = DetRng::new(8);
+    let cluster = ClusterConfig::scaled(200).build(&mut rng);
+    let overlay = cluster.overlay();
+    let source = overlay.random_alive(&mut rng).unwrap();
+    let replicas: Vec<_> = overlay.ring().k_closest(peerstripe::overlay::Id::hash("block_0_1"), 32)
+        .into_iter()
+        .map(|(_, n)| n)
+        .collect();
+    let tree = MulticastTree::locality_aware(overlay, source, &replicas, 2);
+    assert!(tree.len() >= 32);
+    let run = BulletSim::new(
+        tree,
+        BulletConfig {
+            packets: 200,
+            ransub_fraction: 0.16,
+            per_epoch_budget: 4,
+            upload_budget: 6,
+            max_epochs: 5_000,
+        },
+    )
+    .run(&mut rng);
+    assert!(run.completed_at.is_some(), "all replicas receive the whole chunk");
+}
+
+#[test]
+fn metadata_and_byte_paths_agree_on_placement_shape() {
+    let mut ps = PeerStripe::new(cluster(30, ByteSize::mb(64), 9), PeerStripeConfig::default());
+    let mut rng = DetRng::new(10);
+    let data: Vec<u8> = (0..4_000_000).map(|_| rng.next_u32() as u8).collect();
+    assert!(ps.store_data("bytes.bin", &data).is_stored());
+    assert!(ps
+        .store_file(&FileRecord::new("meta.bin", ByteSize::bytes(4_000_000)))
+        .is_stored());
+    let bytes_chunks = ps.manifest("bytes.bin").unwrap().chunks.len();
+    let meta_chunks = ps.manifest("meta.bin").unwrap().chunks.len();
+    // Both paths size chunks from the same getCapacity probes, so the chunk
+    // counts must be in the same ballpark (they probe different key sequences,
+    // so exact equality is not expected).
+    assert!(bytes_chunks.abs_diff(meta_chunks) <= 2, "{bytes_chunks} vs {meta_chunks}");
+}
+
+#[test]
+fn cat_reconstruction_survives_total_cat_loss() {
+    let mut ps = PeerStripe::new(cluster(40, ByteSize::mb(400), 11), PeerStripeConfig::default());
+    assert!(ps.store_file(&FileRecord::new("reconstruct-me", ByteSize::gb(2))).is_stored());
+    let original: Vec<ByteSize> = ps
+        .manifest("reconstruct-me")
+        .unwrap()
+        .chunks
+        .iter()
+        .map(|c| c.size)
+        .filter(|s| !s.is_zero())
+        .collect();
+    let rebuilt = ps.reconstruct_cat("reconstruct-me");
+    let rebuilt_sizes: Vec<ByteSize> = rebuilt
+        .extents()
+        .iter()
+        .map(|e| e.size())
+        .filter(|s| !s.is_zero())
+        .collect();
+    assert_eq!(rebuilt_sizes, original);
+    assert_eq!(rebuilt.file_size(), ByteSize::gb(2));
+}

@@ -1,0 +1,243 @@
+//! Property-based tests (proptest) over the public API: invariants that must
+//! hold for arbitrary inputs, not just the hand-picked cases of the unit tests.
+
+use peerstripe::core::{
+    ChunkAllocationTable, ClusterConfig, CodingPolicy, ObjectName, PeerStripe, PeerStripeConfig,
+    StorageSystem,
+};
+use peerstripe::erasure::{ErasureCode, NullCode, OnlineCode, XorCode};
+use peerstripe::overlay::{Id, IdRing};
+use peerstripe::sim::{ByteSize, DetRng, OnlineStats};
+use peerstripe::trace::{CapacityModel, FileRecord};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- erasure codes -------------------------------------------------------
+
+    /// The XOR parity code decodes the original chunk from any survivor set that
+    /// loses at most one block per parity group.
+    #[test]
+    fn xor_code_round_trips_with_one_loss_per_group(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        group in 2usize..5,
+        drop_choice in any::<u64>(),
+    ) {
+        let blocks = group * 4;
+        let code = XorCode::new(group, blocks);
+        let encoded = code.encode(&data);
+        // Drop one block from every group, chosen by the fuzzed seed.
+        let mut rng = DetRng::new(drop_choice);
+        let mut dropped = std::collections::HashSet::new();
+        for g in 0..code.groups() {
+            let members: Vec<u32> = encoded
+                .iter()
+                .map(|b| b.index)
+                .filter(|&i| code.group_of(i as usize) == g)
+                .collect();
+            dropped.insert(*rng.choose(&members).unwrap());
+        }
+        let surviving: Vec<_> = encoded.iter().filter(|b| !dropped.contains(&b.index)).cloned().collect();
+        prop_assert_eq!(code.decode(&surviving, data.len()).unwrap(), data);
+    }
+
+    /// The NULL code is an exact pass-through for arbitrary data and block counts.
+    #[test]
+    fn null_code_round_trips(
+        data in proptest::collection::vec(any::<u8>(), 0..8192),
+        blocks in 1usize..64,
+    ) {
+        let code = NullCode::new(blocks);
+        let encoded = code.encode(&data);
+        prop_assert_eq!(encoded.len(), blocks);
+        prop_assert_eq!(code.decode(&encoded, data.len()).unwrap(), data);
+    }
+
+    /// The online code decodes arbitrary data from its full check-block set.
+    #[test]
+    fn online_code_round_trips(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+    ) {
+        let code = OnlineCode::with_overhead(128, 0.01, 3, 1.15);
+        let encoded = code.encode(&data);
+        prop_assert_eq!(code.decode(&encoded, data.len()).unwrap(), data);
+    }
+
+    // ---- identifier ring -----------------------------------------------------
+
+    /// Ring routing always returns the live node at minimum circular distance.
+    #[test]
+    fn ring_route_matches_brute_force(
+        ids in proptest::collection::hash_set(any::<u128>(), 1..64),
+        key in any::<u128>(),
+    ) {
+        let mut ring = IdRing::new();
+        for (i, &id) in ids.iter().enumerate() {
+            ring.insert(Id(id), i);
+        }
+        let key = Id(key);
+        let (routed, _) = ring.route(key).unwrap();
+        let best = ids.iter().map(|&id| key.distance(Id(id))).min().unwrap();
+        prop_assert_eq!(routed.distance(key), best);
+    }
+
+    /// k_closest returns distinct members sorted by circular distance, and its
+    /// first element agrees with route().
+    #[test]
+    fn k_closest_is_sorted_and_distinct(
+        ids in proptest::collection::hash_set(any::<u128>(), 2..64),
+        key in any::<u128>(),
+        k in 1usize..16,
+    ) {
+        let mut ring = IdRing::new();
+        for (i, &id) in ids.iter().enumerate() {
+            ring.insert(Id(id), i);
+        }
+        let key = Id(key);
+        let closest = ring.k_closest(key, k);
+        prop_assert_eq!(closest.len(), k.min(ids.len()));
+        for w in closest.windows(2) {
+            prop_assert!(key.distance(w[0].0) <= key.distance(w[1].0));
+        }
+        let unique: std::collections::HashSet<_> = closest.iter().map(|(id, _)| *id).collect();
+        prop_assert_eq!(unique.len(), closest.len());
+        prop_assert_eq!(closest[0].0, ring.route(key).unwrap().0);
+    }
+
+    // ---- naming & CAT --------------------------------------------------------
+
+    /// Object names render/parse round-trip for any file name without the
+    /// reserved separators.
+    #[test]
+    fn object_names_round_trip(
+        file in "[a-zA-Z][a-zA-Z0-9.-]{0,24}",
+        chunk in 0u32..10_000,
+        ecb in 0u32..10_000,
+    ) {
+        let names = [
+            ObjectName::chunk(&file, chunk),
+            ObjectName::block(&file, chunk, ecb),
+            ObjectName::cat(&file),
+            ObjectName::whole_file(&file, ecb),
+        ];
+        for n in names {
+            prop_assert_eq!(ObjectName::parse(&n.render()), Some(n));
+        }
+    }
+
+    /// A CAT built from arbitrary chunk sizes is contiguous, reports the exact
+    /// file size, maps every in-range offset to the chunk containing it, and
+    /// round-trips through its textual form.
+    #[test]
+    fn cat_invariants(sizes in proptest::collection::vec(0u64..50_000_000, 0..40)) {
+        let sizes: Vec<ByteSize> = sizes.into_iter().map(ByteSize::bytes).collect();
+        let cat = ChunkAllocationTable::from_chunk_sizes(&sizes);
+        let total: u64 = sizes.iter().map(|s| s.as_u64()).sum();
+        prop_assert_eq!(cat.file_size().as_u64(), total);
+        // Extents are contiguous and in order.
+        let mut expected_start = 0;
+        for e in cat.extents() {
+            prop_assert_eq!(e.start, expected_start);
+            expected_start = e.end;
+        }
+        // Offset lookup returns a chunk containing the offset.
+        if total > 0 {
+            for probe in [0, total / 2, total - 1] {
+                let extent = cat.chunk_for_offset(probe).unwrap();
+                prop_assert!(extent.contains(probe));
+            }
+            prop_assert!(cat.chunk_for_offset(total).is_none());
+        }
+        prop_assert_eq!(ChunkAllocationTable::parse(&cat.render()).unwrap(), cat);
+    }
+
+    // ---- statistics ----------------------------------------------------------
+
+    /// Welford statistics agree with the naive two-pass computation.
+    #[test]
+    fn online_stats_match_naive(values in proptest::collection::vec(-1.0e6f64..1.0e6, 1..200)) {
+        let mut stats = OnlineStats::new();
+        for &v in &values {
+            stats.push(v);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        prop_assert!((stats.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((stats.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+    }
+
+    // ---- byte sizes ----------------------------------------------------------
+
+    /// ByteSize arithmetic is saturating and ordering-consistent.
+    #[test]
+    fn bytesize_arithmetic(a in any::<u64>(), b in any::<u64>()) {
+        let x = ByteSize::bytes(a);
+        let y = ByteSize::bytes(b);
+        prop_assert_eq!((x + y).as_u64(), a.saturating_add(b));
+        prop_assert_eq!((x - y).as_u64(), a.saturating_sub(b));
+        prop_assert_eq!(x.min(y).as_u64(), a.min(b));
+        prop_assert_eq!(x.max(y).as_u64(), a.max(b));
+        prop_assert_eq!(x < y, a < b);
+    }
+}
+
+proptest! {
+    // Store/retrieve round trips run a full system per case, so fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any payload stored through the byte path reads back identically, both in
+    /// full and over arbitrary sub-ranges.
+    #[test]
+    fn store_retrieve_round_trips(
+        data in proptest::collection::vec(any::<u8>(), 1..200_000),
+        offset_frac in 0.0f64..1.0,
+        len in 0u64..50_000,
+        coding_pick in 0usize..3,
+    ) {
+        let coding = [CodingPolicy::None, CodingPolicy::xor_2_3(), CodingPolicy::online_default()][coding_pick];
+        let mut rng = DetRng::new(77);
+        let cluster = ClusterConfig {
+            nodes: 24,
+            capacity: CapacityModel::Fixed(ByteSize::mb(64)),
+            report_fraction: 1.0,
+            track_objects: true,
+        }
+        .build(&mut rng);
+        let mut ps = PeerStripe::new(cluster, PeerStripeConfig::default().with_coding(coding));
+        prop_assert!(ps.store_data("payload", &data).is_stored());
+        prop_assert_eq!(ps.retrieve_data("payload").unwrap(), data.clone());
+        let offset = (offset_frac * data.len() as f64) as u64;
+        let expected_end = (offset + len).min(data.len() as u64) as usize;
+        let expected = &data[offset.min(data.len() as u64) as usize..expected_end];
+        prop_assert_eq!(ps.retrieve_range_data("payload", offset, len).unwrap(), expected.to_vec());
+    }
+
+    /// Storing arbitrary file sizes never loses accounting: placed bytes are at
+    /// least the stored user bytes, and failed stores leave utilization unchanged.
+    #[test]
+    fn store_accounting_invariants(sizes in proptest::collection::vec(1u64..5_000_000_000u64, 1..12)) {
+        let mut rng = DetRng::new(88);
+        let cluster = ClusterConfig {
+            nodes: 30,
+            capacity: CapacityModel::Fixed(ByteSize::gb(1)),
+            report_fraction: 1.0,
+            track_objects: true,
+        }
+        .build(&mut rng);
+        let mut ps = PeerStripe::new(cluster, PeerStripeConfig::default());
+        for (i, size) in sizes.iter().enumerate() {
+            let before = ps.cluster().total_used();
+            let outcome = ps.store_file(&FileRecord::new(format!("f{i}"), ByteSize::bytes(*size)));
+            let after = ps.cluster().total_used();
+            if outcome.is_stored() {
+                prop_assert!(after >= before);
+            } else {
+                prop_assert_eq!(after, before, "failed stores must roll back completely");
+            }
+        }
+        let m = ps.metrics();
+        prop_assert!(m.bytes_placed >= m.bytes_stored);
+        prop_assert_eq!(m.bytes_attempted, m.bytes_stored + m.bytes_failed);
+    }
+}
