@@ -92,7 +92,8 @@ impl Cfs {
 
     /// Number of fixed-size blocks a file of the given size is chopped into.
     pub fn blocks_for(&self, size: ByteSize) -> u64 {
-        size.div_ceil(self.config.block_size).max(if size.is_zero() { 0 } else { 1 })
+        size.div_ceil(self.config.block_size)
+            .max(if size.is_zero() { 0 } else { 1 })
     }
 }
 
@@ -131,7 +132,9 @@ impl StorageSystem for Cfs {
                 }
                 let mut placed: Vec<BlockPlacement> = Vec::new();
                 for (i, (_, node)) in successors.into_iter().enumerate() {
-                    let key = ObjectName::block(format!("{}#rep{i}", file.name), block_no as u32, salt).key();
+                    let key =
+                        ObjectName::block(format!("{}#rep{i}", file.name), block_no as u32, salt)
+                            .key();
                     if self
                         .cluster
                         .store_object_at(node, key, name.clone(), this_block, None)
@@ -178,7 +181,8 @@ impl StorageSystem for Cfs {
             };
         }
 
-        self.metrics.record_success(file.size, &chunk_sizes, placed_bytes);
+        self.metrics
+            .record_success(file.size, &chunk_sizes, placed_bytes);
         if self.config.track_manifests {
             self.manifests.insert(FileManifest {
                 name: file.name.clone(),
@@ -231,12 +235,19 @@ mod tests {
 
     #[test]
     fn chops_files_into_fixed_blocks() {
-        let mut cfs = Cfs::new(cluster(50, ByteSize::gb(1), 1), CfsConfig::paper_simulation());
-        assert!(cfs.store_file(&FileRecord::new("f", ByteSize::mb(243))).is_stored());
+        let mut cfs = Cfs::new(
+            cluster(50, ByteSize::gb(1), 1),
+            CfsConfig::paper_simulation(),
+        );
+        assert!(cfs
+            .store_file(&FileRecord::new("f", ByteSize::mb(243)))
+            .is_stored());
         let manifest = cfs.manifest("f").unwrap();
         // 243 MB / 4 MB = 60.75 → 61 blocks, matching Table 1's ~61 chunks per file.
         assert_eq!(manifest.chunks.len(), 61);
-        assert!(manifest.chunks[..60].iter().all(|c| c.size == ByteSize::mb(4)));
+        assert!(manifest.chunks[..60]
+            .iter()
+            .all(|c| c.size == ByteSize::mb(4)));
         assert_eq!(manifest.chunks[60].size, ByteSize::mb(3));
         assert!((cfs.metrics().mean_chunks_per_file() - 61.0).abs() < 1e-9);
         assert!(cfs.metrics().mean_chunk_size() <= ByteSize::mb(4));
@@ -245,8 +256,13 @@ mod tests {
     #[test]
     fn stores_files_larger_than_any_single_node() {
         // Unlike PAST, CFS can spread a big file over many nodes.
-        let mut cfs = Cfs::new(cluster(60, ByteSize::mb(100), 2), CfsConfig::paper_simulation());
-        assert!(cfs.store_file(&FileRecord::new("big", ByteSize::gb(2))).is_stored());
+        let mut cfs = Cfs::new(
+            cluster(60, ByteSize::mb(100), 2),
+            CfsConfig::paper_simulation(),
+        );
+        assert!(cfs
+            .store_file(&FileRecord::new("big", ByteSize::gb(2)))
+            .is_stored());
         let manifest = cfs.manifest("big").unwrap();
         let nodes: std::collections::HashSet<_> = manifest.all_blocks().map(|b| b.node).collect();
         assert!(nodes.len() > 10, "blocks must be spread over many nodes");
@@ -254,7 +270,10 @@ mod tests {
 
     #[test]
     fn blocks_for_counts_partial_blocks() {
-        let cfs = Cfs::new(cluster(5, ByteSize::gb(1), 3), CfsConfig::paper_simulation());
+        let cfs = Cfs::new(
+            cluster(5, ByteSize::gb(1), 3),
+            CfsConfig::paper_simulation(),
+        );
         assert_eq!(cfs.blocks_for(ByteSize::mb(8)), 2);
         assert_eq!(cfs.blocks_for(ByteSize::mb(9)), 3);
         assert_eq!(cfs.blocks_for(ByteSize::ZERO), 0);
@@ -264,12 +283,19 @@ mod tests {
     #[test]
     fn store_fails_and_rolls_back_when_a_block_cannot_be_placed() {
         // Tiny system: 3 nodes x 16 MB.  A 64 MB file (16 blocks) cannot fit.
-        let mut cfs = Cfs::new(cluster(3, ByteSize::mb(16), 4), CfsConfig::paper_simulation());
+        let mut cfs = Cfs::new(
+            cluster(3, ByteSize::mb(16), 4),
+            CfsConfig::paper_simulation(),
+        );
         let used_before = cfs.cluster().total_used();
         let outcome = cfs.store_file(&FileRecord::new("toobig", ByteSize::mb(64)));
         assert!(!outcome.is_stored());
         assert_eq!(cfs.metrics().files_failed, 1);
-        assert_eq!(cfs.cluster().total_used(), used_before, "rollback must free blocks");
+        assert_eq!(
+            cfs.cluster().total_used(),
+            used_before,
+            "rollback must free blocks"
+        );
         assert!(cfs.manifest("toobig").is_none());
     }
 
@@ -282,7 +308,9 @@ mod tests {
                 ..CfsConfig::paper_simulation()
             },
         );
-        assert!(cfs.store_file(&FileRecord::new("r", ByteSize::mb(4))).is_stored());
+        assert!(cfs
+            .store_file(&FileRecord::new("r", ByteSize::mb(4)))
+            .is_stored());
         let manifest = cfs.manifest("r").unwrap();
         assert_eq!(manifest.chunks[0].blocks.len(), 3);
         assert_eq!(cfs.metrics().bytes_placed, ByteSize::mb(12));
@@ -290,7 +318,10 @@ mod tests {
 
     #[test]
     fn lookup_count_grows_with_file_size() {
-        let mut cfs = Cfs::new(cluster(100, ByteSize::gb(10), 6), CfsConfig::paper_simulation());
+        let mut cfs = Cfs::new(
+            cluster(100, ByteSize::gb(10), 6),
+            CfsConfig::paper_simulation(),
+        );
         cfs.store_file(&FileRecord::new("small", ByteSize::mb(40)));
         let lookups_small = cfs.cluster().overlay().stats().lookups;
         cfs.store_file(&FileRecord::new("large", ByteSize::mb(400)));

@@ -184,7 +184,9 @@ mod tests {
     #[test]
     fn stores_whole_files_on_single_nodes() {
         let mut past = Past::new(cluster(50, ByteSize::gb(1), 1), PastConfig::default());
-        assert!(past.store_file(&FileRecord::new("a", ByteSize::mb(400))).is_stored());
+        assert!(past
+            .store_file(&FileRecord::new("a", ByteSize::mb(400)))
+            .is_stored());
         let manifest = past.manifest("a").unwrap();
         assert_eq!(manifest.chunks.len(), 1);
         assert_eq!(manifest.chunks[0].blocks.len(), 1);
@@ -229,7 +231,9 @@ mod tests {
                 ..PastConfig::default()
             },
         );
-        assert!(past.store_file(&FileRecord::new("r", ByteSize::mb(100))).is_stored());
+        assert!(past
+            .store_file(&FileRecord::new("r", ByteSize::mb(100)))
+            .is_stored());
         let manifest = past.manifest("r").unwrap();
         assert_eq!(manifest.chunks[0].blocks.len(), 3);
         let nodes: std::collections::HashSet<_> =

@@ -28,7 +28,11 @@ fn bench_fig10_availability(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(6));
-    for coding in [CodingPolicy::None, CodingPolicy::xor_2_3(), CodingPolicy::online_default()] {
+    for coding in [
+        CodingPolicy::None,
+        CodingPolicy::xor_2_3(),
+        CodingPolicy::online_default(),
+    ] {
         group.bench_function(format!("fail_10pct/{}", coding.label()), |b| {
             b.iter_batched(
                 || deploy(coding, 150, 150 * 10, 7),
@@ -60,7 +64,8 @@ fn bench_table2_erasure(c: &mut Criterion) {
     let null = NullCode::new(blocks);
     let xor = XorCode::new(2, blocks);
     let online = OnlineCode::with_overhead(blocks, 0.01, 3, 1.05);
-    let codes: Vec<(&str, &dyn ErasureCode)> = vec![("null", &null), ("xor", &xor), ("online", &online)];
+    let codes: Vec<(&str, &dyn ErasureCode)> =
+        vec![("null", &null), ("xor", &xor), ("online", &online)];
     for (name, code) in codes {
         group.bench_function(format!("encode_decode/{name}"), |b| {
             b.iter(|| measure_code(code, chunk, 1, 5))

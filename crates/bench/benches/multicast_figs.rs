@@ -24,13 +24,16 @@ fn bench_fig11_ransub_sweep(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(5));
     for fraction in [0.03, 0.08, 0.16] {
-        group.bench_function(format!("disseminate/ransub_{:.0}pct", fraction * 100.0), |b| {
-            b.iter(|| {
-                let tree = MulticastTree::binary(5);
-                let mut rng = DetRng::new(11);
-                BulletSim::new(tree, config(fraction)).run(&mut rng)
-            })
-        });
+        group.bench_function(
+            format!("disseminate/ransub_{:.0}pct", fraction * 100.0),
+            |b| {
+                b.iter(|| {
+                    let tree = MulticastTree::binary(5);
+                    let mut rng = DetRng::new(11);
+                    BulletSim::new(tree, config(fraction)).run(&mut rng)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -52,7 +52,9 @@ pub struct ChunkAllocationTable {
 impl ChunkAllocationTable {
     /// Create an empty CAT.
     pub fn new() -> Self {
-        ChunkAllocationTable { extents: Vec::new() }
+        ChunkAllocationTable {
+            extents: Vec::new(),
+        }
     }
 
     /// Build a CAT from the sequence of chunk sizes produced while storing a file
@@ -202,9 +204,19 @@ mod tests {
     fn offset_lookup_skips_empty_chunks() {
         let cat = sample_cat();
         assert_eq!(cat.chunk_for_offset(0).unwrap().chunk, 0);
-        assert_eq!(cat.chunk_for_offset(ByteSize::mb(5).as_u64()).unwrap().chunk, 1);
+        assert_eq!(
+            cat.chunk_for_offset(ByteSize::mb(5).as_u64())
+                .unwrap()
+                .chunk,
+            1
+        );
         // Offset right at the start of the data held by chunk 3 (after the empty chunk 2).
-        assert_eq!(cat.chunk_for_offset(ByteSize::mb(25).as_u64()).unwrap().chunk, 3);
+        assert_eq!(
+            cat.chunk_for_offset(ByteSize::mb(25).as_u64())
+                .unwrap()
+                .chunk,
+            3
+        );
         // Past the end of the file.
         assert!(cat.chunk_for_offset(ByteSize::mb(35).as_u64()).is_none());
     }

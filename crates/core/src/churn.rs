@@ -67,7 +67,11 @@ impl AvailabilityTracker {
                 tracker.chunk_file.push(file_idx);
                 tracker.chunk_size.push(chunk.size);
                 for block in &chunk.blocks {
-                    tracker.node_index.entry(block.node).or_default().push(chunk_idx);
+                    tracker
+                        .node_index
+                        .entry(block.node)
+                        .or_default()
+                        .push(chunk_idx);
                 }
             }
         }
@@ -173,7 +177,11 @@ impl RegenerationSim {
     /// the recovery delay proportional to the recovered data); `failure_interval`
     /// is the time between consecutive failures, so a slow recovery pipeline can
     /// still be busy when the next failure arrives.
-    pub fn build(manifests: &ManifestStore, regen_rate: ByteSize, failure_interval_secs: f64) -> Self {
+    pub fn build(
+        manifests: &ManifestStore,
+        regen_rate: ByteSize,
+        failure_interval_secs: f64,
+    ) -> Self {
         let mut sim = RegenerationSim {
             chunk_blocks: Vec::new(),
             chunk_needed: Vec::new(),
@@ -385,7 +393,11 @@ mod tests {
             ps.cluster_mut().fail_node(node);
             tracker.fail_node(node, &file_sizes);
             // Ground truth: recompute availability from the manifests.
-            let direct = ps.manifests().iter().filter(|m| !m.is_available(ps.cluster())).count();
+            let direct = ps
+                .manifests()
+                .iter()
+                .filter(|m| !m.is_available(ps.cluster()))
+                .count();
             assert_eq!(tracker.files_unavailable(), direct);
         }
     }
@@ -395,7 +407,11 @@ mod tests {
         // Fail 10% of the nodes (the regime of Figure 10) under the three
         // policies; stronger coding must never be worse.
         let mut unavailable = Vec::new();
-        for coding in [CodingPolicy::None, CodingPolicy::xor_2_3(), CodingPolicy::online_default()] {
+        for coding in [
+            CodingPolicy::None,
+            CodingPolicy::xor_2_3(),
+            CodingPolicy::online_default(),
+        ] {
             let mut ps = large_loaded_system(coding, 3);
             let mut tracker = AvailabilityTracker::build(ps.manifests());
             let file_sizes = AvailabilityTracker::file_sizes(ps.manifests());
@@ -406,8 +422,14 @@ mod tests {
             }
             unavailable.push(tracker.files_unavailable());
         }
-        assert!(unavailable[1] <= unavailable[0], "XOR worse than no coding: {unavailable:?}");
-        assert!(unavailable[2] <= unavailable[1], "online worse than XOR: {unavailable:?}");
+        assert!(
+            unavailable[1] <= unavailable[0],
+            "XOR worse than no coding: {unavailable:?}"
+        );
+        assert!(
+            unavailable[2] <= unavailable[1],
+            "online worse than XOR: {unavailable:?}"
+        );
         assert!(unavailable[0] > 0, "with no coding some files must be lost");
     }
 

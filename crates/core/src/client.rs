@@ -230,7 +230,11 @@ impl PeerStripe {
         // Primary copy at the key's root, replicas on the numerically closest
         // neighbours (the leaf-set replication of Section 4.4).
         let replicas = self.config.cat_replicas.max(1);
-        let targets = self.cluster.overlay().ring().k_closest(name.key(), replicas);
+        let targets = self
+            .cluster
+            .overlay()
+            .ring()
+            .k_closest(name.key(), replicas);
         for (i, (_, node)) in targets.into_iter().enumerate() {
             // Each copy is an independent object so per-node keys stay unique;
             // only the primary charge a lookup (the replicas ride the leaf set).
@@ -239,7 +243,13 @@ impl PeerStripe {
             }
             if self
                 .cluster
-                .store_object_at(node, ObjectName::cat(format!("{file}#r{i}")).key(), name.clone(), size, None)
+                .store_object_at(
+                    node,
+                    ObjectName::cat(format!("{file}#r{i}")).key(),
+                    name.clone(),
+                    size,
+                    None,
+                )
                 .is_ok()
             {
                 nodes.push(node);
@@ -319,7 +329,8 @@ impl PeerStripe {
         let cat = ChunkAllocationTable::from_chunk_sizes(&chunk_sizes);
         let cat_nodes = self.store_cat(&file.name, &cat);
         placed_bytes += cat.serialized_size() * cat_nodes.len() as u64;
-        self.metrics.record_success(file.size, &chunk_sizes, placed_bytes);
+        self.metrics
+            .record_success(file.size, &chunk_sizes, placed_bytes);
         if self.config.track_manifests {
             self.manifests.insert(FileManifest {
                 name: file.name.clone(),
@@ -456,10 +467,16 @@ impl PeerStripe {
                 .manifests
                 .get(&file)
                 .and_then(|m| m.chunks.iter().find(|c| c.chunk == chunk_no))
-                .map(|c| c.blocks.iter().map(|b| match &b.name {
-                    ObjectName::Block { ecb, .. } => *ecb + 1,
-                    _ => 1,
-                }).max().unwrap_or(0))
+                .map(|c| {
+                    c.blocks
+                        .iter()
+                        .map(|b| match &b.name {
+                            ObjectName::Block { ecb, .. } => *ecb + 1,
+                            _ => 1,
+                        })
+                        .max()
+                        .unwrap_or(0)
+                })
                 .unwrap_or(0)
                 .max(self.config.coding.placed_blocks() as u32);
             let name = ObjectName::block(file.clone(), chunk_no, next_ecb);
@@ -503,7 +520,11 @@ impl PeerStripe {
         for file in cat_repairs {
             let replicas = self.config.cat_replicas.max(1);
             let cat_key = ObjectName::cat(&file).key();
-            let candidates = self.cluster.overlay().ring().k_closest(cat_key, replicas + 1);
+            let candidates = self
+                .cluster
+                .overlay()
+                .ring()
+                .k_closest(cat_key, replicas + 1);
             if let Some(m) = self.manifests.get_mut(&file) {
                 m.cat_nodes.retain(|n| *n != failed);
                 for (_, node) in candidates {
@@ -541,8 +562,7 @@ impl PeerStripe {
                         block_size
                     } else {
                         ByteSize::bytes(
-                            (block_size.as_u64() as f64
-                                * self.config.coding.placed_blocks() as f64
+                            (block_size.as_u64() as f64 * self.config.coding.placed_blocks() as f64
                                 / self.config.coding.storage_overhead())
                             .round() as u64,
                         )
@@ -708,7 +728,11 @@ mod tests {
         assert!(ps.store_file(&file).is_stored());
         let manifest = ps.manifest("data").unwrap();
         for c in &manifest.chunks {
-            assert!(c.size <= ByteSize::mb(500), "chunk {} exceeds node capacity", c.chunk);
+            assert!(
+                c.size <= ByteSize::mb(500),
+                "chunk {} exceeds node capacity",
+                c.chunk
+            );
         }
     }
 
@@ -723,7 +747,11 @@ mod tests {
         assert_eq!(ps.metrics().files_failed, 1);
         assert!(ps.metrics().failed_store_pct() > 0.0);
         assert!(ps.manifest("b").is_none());
-        assert_eq!(ps.cluster().total_used(), used_before, "rollback must free partial chunks");
+        assert_eq!(
+            ps.cluster().total_used(),
+            used_before,
+            "rollback must free partial chunks"
+        );
     }
 
     #[test]
@@ -745,11 +773,17 @@ mod tests {
     #[test]
     fn cat_is_replicated() {
         let mut ps = system(30, ByteSize::gb(1), 5);
-        ps.store_file(&FileRecord::new("f", ByteSize::mb(100))).is_stored();
+        assert!(ps
+            .store_file(&FileRecord::new("f", ByteSize::mb(100)))
+            .is_stored());
         let manifest = ps.manifest("f").unwrap();
         assert_eq!(manifest.cat_nodes.len(), ps.config().cat_replicas);
         let unique: std::collections::HashSet<_> = manifest.cat_nodes.iter().collect();
-        assert_eq!(unique.len(), manifest.cat_nodes.len(), "replicas on distinct nodes");
+        assert_eq!(
+            unique.len(),
+            manifest.cat_nodes.len(),
+            "replicas on distinct nodes"
+        );
     }
 
     #[test]
@@ -758,7 +792,9 @@ mod tests {
             cluster(40, ByteSize::gb(1), 6),
             PeerStripeConfig::default().with_coding(CodingPolicy::xor_2_3()),
         );
-        assert!(ps.store_file(&FileRecord::new("img", ByteSize::mb(600))).is_stored());
+        assert!(ps
+            .store_file(&FileRecord::new("img", ByteSize::mb(600)))
+            .is_stored());
         let manifest = ps.manifest("img").unwrap();
         for chunk in manifest.chunks.iter().filter(|c| !c.size.is_zero()) {
             assert_eq!(chunk.blocks.len(), 3);
@@ -776,7 +812,9 @@ mod tests {
             cluster(60, ByteSize::gb(1), 7),
             PeerStripeConfig::default().with_coding(CodingPolicy::xor_2_3()),
         );
-        assert!(ps.store_file(&FileRecord::new("f", ByteSize::mb(400))).is_stored());
+        assert!(ps
+            .store_file(&FileRecord::new("f", ByteSize::mb(400)))
+            .is_stored());
         // Fail one node holding a block of some chunk: file must stay available.
         let victim = ps.manifest("f").unwrap().chunks[0].blocks[0].node;
         let takeover = ps.cluster_mut().fail_node(victim).unwrap();
@@ -793,7 +831,9 @@ mod tests {
             cluster(30, ByteSize::gb(1), 8),
             PeerStripeConfig::default().with_coding(CodingPolicy::online_default()),
         );
-        assert!(ps.store_file(&FileRecord::new("d", ByteSize::mb(300))).is_stored());
+        assert!(ps
+            .store_file(&FileRecord::new("d", ByteSize::mb(300)))
+            .is_stored());
         let victim = ps.manifest("d").unwrap().chunks[0].blocks[0].node;
         let lost_blocks: usize = ps
             .manifest("d")
@@ -831,7 +871,10 @@ mod tests {
             ps.retrieve_range_data("blob", 599_000, 10_000).unwrap(),
             data[599_000..].to_vec()
         );
-        assert_eq!(ps.retrieve_range_data("blob", 0, 0).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            ps.retrieve_range_data("blob", 0, 0).unwrap(),
+            Vec::<u8>::new()
+        );
         assert!(ps.retrieve_data("missing").is_none());
     }
 
@@ -853,7 +896,9 @@ mod tests {
     #[test]
     fn cat_reconstruction_matches_original() {
         let mut ps = system(30, ByteSize::mb(300), 11);
-        assert!(ps.store_file(&FileRecord::new("rebuild-me", ByteSize::gb(1))).is_stored());
+        assert!(ps
+            .store_file(&FileRecord::new("rebuild-me", ByteSize::gb(1)))
+            .is_stored());
         let original: Vec<ByteSize> = ps
             .manifest("rebuild-me")
             .unwrap()
@@ -877,7 +922,9 @@ mod tests {
     #[test]
     fn empty_file_stores_trivially() {
         let mut ps = system(10, ByteSize::mb(100), 12);
-        assert!(ps.store_file(&FileRecord::new("empty", ByteSize::ZERO)).is_stored());
+        assert!(ps
+            .store_file(&FileRecord::new("empty", ByteSize::ZERO))
+            .is_stored());
         assert!(ps.is_file_available("empty"));
         assert_eq!(ps.manifest("empty").unwrap().chunks.len(), 0);
     }

@@ -155,7 +155,10 @@ impl StorageCluster {
         payload: Option<Vec<u8>>,
     ) -> Result<NodeRef, ClusterStoreError> {
         let key = name.key();
-        let target = self.overlay.route(key).ok_or(ClusterStoreError::NoLiveNodes)?;
+        let target = self
+            .overlay
+            .route(key)
+            .ok_or(ClusterStoreError::NoLiveNodes)?;
         self.store_object_at(target, key, name, size, payload)
     }
 
@@ -173,7 +176,14 @@ impl StorageCluster {
             return Err(ClusterStoreError::NoLiveNodes);
         }
         self.nodes[node]
-            .store(key, StoredObject { name, size, payload })
+            .store(
+                key,
+                StoredObject {
+                    name,
+                    size,
+                    payload,
+                },
+            )
             .map_err(ClusterStoreError::Refused)?;
         Ok(node)
     }
@@ -286,7 +296,13 @@ mod tests {
         assert_eq!(report, ByteSize::gb(1));
         // Fill the node behind the report's back; the report was not a reservation.
         cluster
-            .store_object_at(node, Id(42), ObjectName::chunk("other", 0), ByteSize::gb(1), None)
+            .store_object_at(
+                node,
+                Id(42),
+                ObjectName::chunk("other", 0),
+                ByteSize::gb(1),
+                None,
+            )
             .unwrap();
         let (_, report2) = cluster.get_capacity(name.key()).unwrap();
         assert_eq!(report2, ByteSize::ZERO);
@@ -309,7 +325,9 @@ mod tests {
     fn failed_nodes_lose_objects_for_lookup_purposes() {
         let mut cluster = small_cluster(5);
         let name = ObjectName::chunk("data", 0);
-        let node = cluster.store_object(name.clone(), ByteSize::mb(10), None).unwrap();
+        let node = cluster
+            .store_object(name.clone(), ByteSize::mb(10), None)
+            .unwrap();
         let takeover = cluster.fail_node(node).unwrap();
         assert!(!cluster.holds(node, &name));
         assert!(cluster.fetch_from(node, &name).is_none());

@@ -37,12 +37,21 @@ impl StoreMetrics {
     }
 
     /// Record a successful file store.
-    pub fn record_success(&mut self, file_size: ByteSize, chunk_sizes: &[ByteSize], placed: ByteSize) {
+    pub fn record_success(
+        &mut self,
+        file_size: ByteSize,
+        chunk_sizes: &[ByteSize],
+        placed: ByteSize,
+    ) {
         self.files_attempted += 1;
         self.bytes_attempted += file_size;
         self.bytes_stored += file_size;
         self.bytes_placed += placed;
-        let data_chunks: Vec<ByteSize> = chunk_sizes.iter().copied().filter(|s| !s.is_zero()).collect();
+        let data_chunks: Vec<ByteSize> = chunk_sizes
+            .iter()
+            .copied()
+            .filter(|s| !s.is_zero())
+            .collect();
         self.chunks_per_file.push(data_chunks.len() as f64);
         for c in &data_chunks {
             self.chunk_sizes.push(c.as_u64() as f64);

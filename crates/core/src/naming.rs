@@ -127,7 +127,10 @@ impl ObjectName {
             if file.is_empty() {
                 return None;
             }
-            return salt.parse().ok().map(|salt| ObjectName::whole_file(file, salt));
+            return salt
+                .parse()
+                .ok()
+                .map(|salt| ObjectName::whole_file(file, salt));
         }
         let mut parts: Vec<&str> = s.rsplitn(3, '_').collect();
         parts.reverse();
@@ -139,13 +142,16 @@ impl ObjectName {
                         // `file_name_3` where `file_name` contains an underscore:
                         // re-join and try the chunk form.
                         let joined = format!("{file}_{a}");
-                        b.parse::<u32>().ok().map(|chunk| ObjectName::chunk(joined, chunk))
+                        b.parse::<u32>()
+                            .ok()
+                            .map(|chunk| ObjectName::chunk(joined, chunk))
                     }
                 }
             }
-            [file, a] if !file.is_empty() => {
-                a.parse::<u32>().ok().map(|chunk| ObjectName::chunk(*file, chunk))
-            }
+            [file, a] if !file.is_empty() => a
+                .parse::<u32>()
+                .ok()
+                .map(|chunk| ObjectName::chunk(*file, chunk)),
             _ => None,
         }
     }
@@ -170,9 +176,15 @@ mod tests {
     #[test]
     fn render_matches_paper_examples() {
         // "testImageFile_2 represents the second chunk of the file testImageFile"
-        assert_eq!(ObjectName::chunk("testImageFile", 2).render(), "testImageFile_2");
+        assert_eq!(
+            ObjectName::chunk("testImageFile", 2).render(),
+            "testImageFile_2"
+        );
         // "The encoded blocks for the chunk X are named filename_X_ECB"
-        assert_eq!(ObjectName::block("myTestFile", 0, 2).render(), "myTestFile_0_2");
+        assert_eq!(
+            ObjectName::block("myTestFile", 0, 2).render(),
+            "myTestFile_0_2"
+        );
         // "stores it in the p2p storage under the name filename.CAT"
         assert_eq!(ObjectName::cat("myTestFile").render(), "myTestFile.CAT");
     }

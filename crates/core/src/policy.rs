@@ -23,9 +23,10 @@ use peerstripe_sim::ByteSize;
 use serde::{Deserialize, Serialize};
 
 /// Placement-level description of how a chunk is erasure coded.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum CodingPolicy {
     /// Store each chunk as a single object (no redundancy).
+    #[default]
     None,
     /// (group, group+1) parity-check code.
     Xor {
@@ -85,7 +86,9 @@ impl CodingPolicy {
         match *self {
             CodingPolicy::None => 1,
             CodingPolicy::Xor { group } => group,
-            CodingPolicy::Online { placed, tolerable, .. } => placed - tolerable,
+            CodingPolicy::Online {
+                placed, tolerable, ..
+            } => placed - tolerable,
         }
     }
 
@@ -112,9 +115,7 @@ impl CodingPolicy {
     pub fn block_size(&self, chunk: ByteSize) -> ByteSize {
         match *self {
             CodingPolicy::None => chunk,
-            CodingPolicy::Xor { group } => {
-                ByteSize::bytes(chunk.as_u64().div_ceil(group as u64))
-            }
+            CodingPolicy::Xor { group } => ByteSize::bytes(chunk.as_u64().div_ceil(group as u64)),
             CodingPolicy::Online {
                 placed,
                 tolerable,
@@ -194,12 +195,6 @@ impl CodingPolicy {
     }
 }
 
-impl Default for CodingPolicy {
-    fn default() -> Self {
-        CodingPolicy::None
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,7 +263,11 @@ mod tests {
 
     #[test]
     fn block_sizes_cover_the_chunk() {
-        for policy in [CodingPolicy::None, CodingPolicy::xor_2_3(), CodingPolicy::online_default()] {
+        for policy in [
+            CodingPolicy::None,
+            CodingPolicy::xor_2_3(),
+            CodingPolicy::online_default(),
+        ] {
             let chunk = ByteSize::bytes(81_285_373);
             let per_block = policy.block_size(chunk);
             let recoverable = per_block * policy.min_blocks_needed() as u64;

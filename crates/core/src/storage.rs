@@ -258,6 +258,9 @@ mod tests {
             payload: Some(vec![1, 2, 3, 4]),
         };
         node.store(Id(9), stored).unwrap();
-        assert_eq!(node.get(Id(9)).unwrap().payload.as_deref(), Some(&[1u8, 2, 3, 4][..]));
+        assert_eq!(
+            node.get(Id(9)).unwrap().payload.as_deref(),
+            Some(&[1u8, 2, 3, 4][..])
+        );
     }
 }

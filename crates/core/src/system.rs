@@ -168,7 +168,10 @@ impl ManifestStore {
 
     /// Count how many stored files are currently available.
     pub fn available_count(&self, cluster: &StorageCluster) -> usize {
-        self.manifests.values().filter(|m| m.is_available(cluster)).count()
+        self.manifests
+            .values()
+            .filter(|m| m.is_available(cluster))
+            .count()
     }
 }
 
@@ -302,6 +305,9 @@ mod tests {
     #[test]
     fn store_outcome_helpers() {
         assert!(StoreOutcome::Stored.is_stored());
-        assert!(!StoreOutcome::Failed { reason: "full".into() }.is_stored());
+        assert!(!StoreOutcome::Failed {
+            reason: "full".into()
+        }
+        .is_stored());
     }
 }

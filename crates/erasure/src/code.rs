@@ -65,12 +65,20 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::NotEnoughBlocks { have, need } => {
-                write!(f, "not enough encoded blocks: have {have}, need at least {need}")
+                write!(
+                    f,
+                    "not enough encoded blocks: have {have}, need at least {need}"
+                )
             }
             DecodeError::Unrecoverable { missing } => {
-                write!(f, "decoding stalled with {missing} source blocks unrecovered")
+                write!(
+                    f,
+                    "decoding stalled with {missing} source blocks unrecovered"
+                )
             }
-            DecodeError::CorruptBlock { index } => write!(f, "corrupt or out-of-range block {index}"),
+            DecodeError::CorruptBlock { index } => {
+                write!(f, "corrupt or out-of-range block {index}")
+            }
         }
     }
 }
@@ -102,7 +110,8 @@ pub trait ErasureCode: Send + Sync {
     /// Number of encoded-block losses the codec tolerates while still meeting
     /// [`ErasureCode::min_decode_blocks`].
     fn tolerable_losses(&self) -> usize {
-        self.encoded_blocks().saturating_sub(self.min_decode_blocks())
+        self.encoded_blocks()
+            .saturating_sub(self.min_decode_blocks())
     }
 
     /// Storage overhead: encoded size over original size, e.g. 1.5 for (2,3) XOR.

@@ -52,10 +52,17 @@ impl CodeCost {
 
 /// Measure encode/decode cost of `code` on a random chunk of `chunk_size`,
 /// averaged over `runs` repetitions.
-pub fn measure_code(code: &dyn ErasureCode, chunk_size: ByteSize, runs: usize, seed: u64) -> CodeCost {
+pub fn measure_code(
+    code: &dyn ErasureCode,
+    chunk_size: ByteSize,
+    runs: usize,
+    seed: u64,
+) -> CodeCost {
     assert!(runs > 0, "at least one run required");
     let mut rng = DetRng::new(seed);
-    let chunk: Vec<u8> = (0..chunk_size.as_u64()).map(|_| rng.next_u32() as u8).collect();
+    let chunk: Vec<u8> = (0..chunk_size.as_u64())
+        .map(|_| rng.next_u32() as u8)
+        .collect();
 
     let mut encode_stats = OnlineStats::new();
     let mut decode_stats = OnlineStats::new();
@@ -102,7 +109,11 @@ mod tests {
     #[test]
     fn xor_code_has_fifty_percent_overhead() {
         let cost = measure_code(&XorCode::new(2, 64), ByteSize::kb(64), 2, 2);
-        assert!((cost.size_overhead_pct() - 50.0).abs() < 1.0, "{}", cost.size_overhead_pct());
+        assert!(
+            (cost.size_overhead_pct() - 50.0).abs() < 1.0,
+            "{}",
+            cost.size_overhead_pct()
+        );
     }
 
     #[test]

@@ -112,7 +112,7 @@ impl OnlineCode {
         // Cap the maximum degree for practicality: beyond a few hundred the tail
         // probabilities are negligible (< 1e-5 combined) and huge degrees only
         // slow encoding down.  The residual mass is folded into the cap.
-        let max_degree = (f as usize).min(512).max(2);
+        let max_degree = (f as usize).clamp(2, 512);
         let mut cdf = Vec::with_capacity(max_degree);
         let mut cum = rho1;
         cdf.push(cum);
@@ -141,7 +141,8 @@ impl OnlineCode {
     /// block `i` is XORed into.  Deterministic in the codec seed and `i`.
     fn aux_assignment(&self, source_index: usize) -> Vec<usize> {
         let aux = self.aux_blocks();
-        let mut rng = DetRng::new(self.seed ^ 0xA0A0_A0A0).fork_indexed("outer", source_index as u64);
+        let mut rng =
+            DetRng::new(self.seed ^ 0xA0A0_A0A0).fork_indexed("outer", source_index as u64);
         let mut picks = Vec::with_capacity(self.q);
         for _ in 0..self.q {
             picks.push(rng.index(aux));
@@ -155,7 +156,8 @@ impl OnlineCode {
     /// (indices `0..n` are source blocks, `n..n+aux` auxiliary blocks).
     fn check_neighbours(&self, check_index: usize) -> Vec<usize> {
         let composite = self.n + self.aux_blocks();
-        let mut rng = DetRng::new(self.seed ^ 0x1BBE_D0D0).fork_indexed("inner", check_index as u64);
+        let mut rng =
+            DetRng::new(self.seed ^ 0x1BBE_D0D0).fork_indexed("inner", check_index as u64);
         let degree = self.sample_degree(&mut rng).min(composite);
         let mut picks = Vec::with_capacity(degree);
         while picks.len() < degree {
@@ -302,7 +304,9 @@ impl ErasureCode for OnlineCode {
 
         // Gaussian-elimination fallback on the residual system (usually tiny).
         if solved[..self.n].iter().any(Option::is_none) {
-            let residual_vars: Vec<usize> = (0..composite_count).filter(|&v| solved[v].is_none()).collect();
+            let residual_vars: Vec<usize> = (0..composite_count)
+                .filter(|&v| solved[v].is_none())
+                .collect();
             let var_pos: std::collections::HashMap<usize, usize> = residual_vars
                 .iter()
                 .enumerate()
@@ -322,7 +326,7 @@ impl ErasureCode for OnlineCode {
             // Forward elimination.
             let mut pivot_of_col: Vec<Option<usize>> = vec![None; residual_vars.len()];
             let mut next_row = 0usize;
-            for col in 0..residual_vars.len() {
+            for (col, pivot_slot) in pivot_of_col.iter_mut().enumerate() {
                 let Some(pivot) = (next_row..rows.len()).find(|&r| rows[r].0[col]) else {
                     continue;
                 };
@@ -342,13 +346,18 @@ impl ErasureCode for OnlineCode {
                         xor_into(&mut a.1, &b.1);
                     }
                 }
-                pivot_of_col[col] = Some(next_row);
+                *pivot_slot = Some(next_row);
                 next_row += 1;
             }
             for (col, &var) in residual_vars.iter().enumerate() {
                 if let Some(row) = pivot_of_col[col] {
                     // The row must now reference only this column.
-                    if rows[row].0.iter().enumerate().all(|(c2, &set)| !set || c2 == col) {
+                    if rows[row]
+                        .0
+                        .iter()
+                        .enumerate()
+                        .all(|(c2, &set)| !set || c2 == col)
+                    {
                         solved[var] = Some(rows[row].1.clone());
                     }
                 }
@@ -445,7 +454,10 @@ mod tests {
         let overhead = code.storage_overhead();
         assert!(overhead > 1.0 && overhead < 1.06, "overhead {overhead}");
         assert_eq!(code.source_blocks(), 4096);
-        assert!(code.tolerable_losses() >= 2, "must tolerate at least two losses");
+        assert!(
+            code.tolerable_losses() >= 2,
+            "must tolerate at least two losses"
+        );
     }
 
     #[test]
@@ -453,7 +465,11 @@ mod tests {
         let cdf = OnlineCode::build_degree_cdf(0.01);
         assert!(cdf.windows(2).all(|w| w[1] >= w[0] - 1e-12));
         assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
-        assert!(cdf[0] > 0.0 && cdf[0] < 0.05, "rho_1 should be small: {}", cdf[0]);
+        assert!(
+            cdf[0] > 0.0 && cdf[0] < 0.05,
+            "rho_1 should be small: {}",
+            cdf[0]
+        );
     }
 
     #[test]
@@ -467,7 +483,10 @@ mod tests {
     #[test]
     fn aux_block_count_matches_formula() {
         let code = OnlineCode::with_overhead(1000, 0.01, 3, 1.2);
-        assert_eq!(code.aux_blocks(), (0.55f64 * 3.0 * 0.01 * 1000.0).ceil() as usize);
+        assert_eq!(
+            code.aux_blocks(),
+            (0.55f64 * 3.0 * 0.01 * 1000.0).ceil() as usize
+        );
     }
 
     #[test]
@@ -506,4 +525,3 @@ mod tests {
         assert_eq!(code.decode(&blocks, 1).unwrap(), chunk);
     }
 }
-

@@ -30,7 +30,7 @@ impl XorCode {
         assert!(group > 0, "group size must be positive");
         assert!(source_blocks > 0, "block count must be positive");
         assert!(
-            source_blocks % group == 0,
+            source_blocks.is_multiple_of(group),
             "group size {group} must divide source block count {source_blocks}"
         );
         XorCode {

@@ -42,7 +42,10 @@ fn parse_args() -> Result<Args, String> {
                 let value = args.next().ok_or("--seed needs a value")?;
                 seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?;
             }
-            "--help" | "-h" => return Err(usage()),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
             other if experiment.is_none() => experiment = Some(other.to_string()),
             other => return Err(format!("unexpected argument '{other}'\n{}", usage())),
         }

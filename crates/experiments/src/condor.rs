@@ -70,7 +70,10 @@ mod tests {
             ..config
         });
         let row = &rows[0];
-        assert!(!row.whole.succeeded, "128 GB cannot be stored whole on any machine");
+        assert!(
+            !row.whole.succeeded,
+            "128 GB cannot be stored whole on any machine"
+        );
         assert!(row.varying.succeeded);
         assert!(row.fixed.succeeded);
         assert!(row.varying.elapsed_secs < row.fixed.elapsed_secs);

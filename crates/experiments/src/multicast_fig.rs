@@ -140,7 +140,10 @@ mod tests {
         let sweep = run_ransub_sweep(&tiny());
         let smallest = sweep.completion_epochs[0];
         let largest = *sweep.completion_epochs.last().unwrap();
-        assert!(largest <= smallest, "16% ({largest}) should finish no later than 3% ({smallest})");
+        assert!(
+            largest <= smallest,
+            "16% ({largest}) should finish no later than 3% ({smallest})"
+        );
     }
 
     #[test]

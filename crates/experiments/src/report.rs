@@ -52,7 +52,13 @@ pub fn render_table1(cmp: &StoreComparison) -> String {
     let t1 = cmp.table1();
     let mut t = TableBuilder::new(
         "Table 1: number and size of chunks created",
-        &["Scheme", "Chunks (avg)", "Chunks (sd)", "Size (avg)", "Size (sd)"],
+        &[
+            "Scheme",
+            "Chunks (avg)",
+            "Chunks (sd)",
+            "Size (avg)",
+            "Size (sd)",
+        ],
     );
     for (scheme, c_mean, c_sd, s_mean, s_sd) in &t1.rows {
         t.row(&[
@@ -115,7 +121,11 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
     );
     for row in rows {
         t.row(&[
-            format!("{:.0}% ({} nodes)", row.failed_fraction * 100.0, row.nodes_failed),
+            format!(
+                "{:.0}% ({} nodes)",
+                row.failed_fraction * 100.0,
+                row.nodes_failed
+            ),
             format!("{}", row.data_lost),
             format!("{}", row.data_regenerated),
             format!("{}", row.regen_per_failure_mean),
@@ -129,7 +139,11 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
 /// Render Figure 11.
 pub fn render_figure11(sweep: &RanSubSweep) -> String {
     let mut out = render_figure(&sweep.figure);
-    let _ = writeln!(out, "completion epochs (3% .. 16%): {:?}", sweep.completion_epochs);
+    let _ = writeln!(
+        out,
+        "completion epochs (3% .. 16%): {:?}",
+        sweep.completion_epochs
+    );
     out
 }
 

@@ -85,22 +85,37 @@ pub struct StoreComparison {
 impl StoreComparison {
     /// Look up a run by system kind.
     pub fn run(&self, kind: SystemKind) -> &SystemRun {
-        self.runs.iter().find(|r| r.kind == kind).expect("all three systems present")
+        self.runs
+            .iter()
+            .find(|r| r.kind == kind)
+            .expect("all three systems present")
     }
 
     /// Figure 7: failed stores vs. files inserted.
     pub fn figure7(&self) -> Figure {
-        self.figure(|r| r.failed_stores.clone(), "Figure 7: failed file stores", "% failed stores")
+        self.figure(
+            |r| r.failed_stores.clone(),
+            "Figure 7: failed file stores",
+            "% failed stores",
+        )
     }
 
     /// Figure 8: failed bytes vs. files inserted.
     pub fn figure8(&self) -> Figure {
-        self.figure(|r| r.failed_bytes.clone(), "Figure 8: failed store data", "% failed data")
+        self.figure(
+            |r| r.failed_bytes.clone(),
+            "Figure 8: failed store data",
+            "% failed data",
+        )
     }
 
     /// Figure 9: utilization vs. files inserted.
     pub fn figure9(&self) -> Figure {
-        self.figure(|r| r.utilization.clone(), "Figure 9: system utilization", "% utilization")
+        self.figure(
+            |r| r.utilization.clone(),
+            "Figure 9: system utilization",
+            "% utilization",
+        )
     }
 
     fn figure(&self, pick: impl Fn(&SystemRun) -> Series, title: &str, y: &str) -> Figure {
@@ -147,17 +162,19 @@ pub fn run_store_comparison(config: &StoreSimConfig) -> StoreComparison {
 
     let kinds = [SystemKind::Past, SystemKind::Cfs, SystemKind::PeerStripe];
     let mut runs: Vec<Option<SystemRun>> = vec![None, None, None];
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, kind) in kinds.iter().enumerate() {
             let trace = &trace;
-            handles.push((i, scope.spawn(move |_| run_single_system(*kind, config, trace))));
+            handles.push((
+                i,
+                scope.spawn(move || run_single_system(*kind, config, trace)),
+            ));
         }
         for (i, handle) in handles {
             runs[i] = Some(handle.join().expect("system run panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     // The three clusters are identically seeded; recompute the shared capacity once.
     let mut rng = DetRng::new(config.seed);
     let cluster = ClusterConfig::scaled(config.nodes).build(&mut rng);

@@ -90,7 +90,11 @@ pub fn run_bigcopy(
             BigCopyResult {
                 size,
                 succeeded: fits,
-                elapsed_secs: if fits { net.transfer_secs(size) } else { f64::NAN },
+                elapsed_secs: if fits {
+                    net.transfer_secs(size)
+                } else {
+                    f64::NAN
+                },
                 chunks: 1,
                 lookups: 0,
             }
@@ -148,7 +152,13 @@ pub fn run_bigcopy(
 }
 
 /// Convert measured placement activity into wall-clock seconds.
-fn scheme_time(net: &NetworkModel, size: ByteSize, chunks: u64, lookups: u64, varying: bool) -> f64 {
+fn scheme_time(
+    net: &NetworkModel,
+    size: ByteSize,
+    chunks: u64,
+    lookups: u64,
+    varying: bool,
+) -> f64 {
     // In the 32-node pool every lookup resolves in one hop; lookups issued later
     // in the job contend with its own bulk transfer (see `lookup_sequence_secs`).
     let mut t = net.transfer_secs(size)
@@ -228,7 +238,10 @@ mod tests {
         let small = run_bigcopy(ByteSize::gb(1), BigCopyScheme::WholeFile, &cfg, 1);
         assert!(small.succeeded);
         let big = run_bigcopy(ByteSize::gb(16), BigCopyScheme::WholeFile, &cfg, 1);
-        assert!(!big.succeeded, "16 GB exceeds any single machine, as in Table 4");
+        assert!(
+            !big.succeeded,
+            "16 GB exceeds any single machine, as in Table 4"
+        );
     }
 
     #[test]
@@ -260,15 +273,25 @@ mod tests {
         let fixed_8 = rows[1].fixed_overhead_pct().unwrap();
         let varying_1 = rows[0].varying_overhead_pct().unwrap();
         let varying_8 = rows[1].varying_overhead_pct().unwrap();
-        assert!(fixed_8 > fixed_1, "fixed-chunk overhead must grow: {fixed_1:.1}% -> {fixed_8:.1}%");
-        assert!(varying_8 < varying_1, "varying-chunk overhead must shrink: {varying_1:.1}% -> {varying_8:.1}%");
+        assert!(
+            fixed_8 > fixed_1,
+            "fixed-chunk overhead must grow: {fixed_1:.1}% -> {fixed_8:.1}%"
+        );
+        assert!(
+            varying_8 < varying_1,
+            "varying-chunk overhead must shrink: {varying_1:.1}% -> {varying_8:.1}%"
+        );
         assert!(varying_8 < fixed_8, "at 8 GB varying chunks must win");
     }
 
     #[test]
     fn per_size_times_increase_with_size() {
         let cfg = PoolConfig::paper();
-        let rows = table4(&[ByteSize::gb(1), ByteSize::gb(2), ByteSize::gb(4)], &cfg, 5);
+        let rows = table4(
+            &[ByteSize::gb(1), ByteSize::gb(2), ByteSize::gb(4)],
+            &cfg,
+            5,
+        );
         for pair in rows.windows(2) {
             assert!(pair[1].fixed.elapsed_secs > pair[0].fixed.elapsed_secs);
             assert!(pair[1].varying.elapsed_secs > pair[0].varying.elapsed_secs);

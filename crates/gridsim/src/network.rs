@@ -119,7 +119,10 @@ mod tests {
         let net = NetworkModel::default();
         assert!(net.lookup_secs(4, 1) > net.lookup_secs(1, 1));
         assert!(net.lookup_secs(2, 3) > net.lookup_secs(2, 1));
-        assert!(net.lookup_secs(0, 0) > 0.0, "even a local placement has fixed cost");
+        assert!(
+            net.lookup_secs(0, 0) > 0.0,
+            "even a local placement has fixed cost"
+        );
         assert!(net.message_secs(3) > net.message_secs(1));
     }
 }

@@ -161,9 +161,7 @@ impl<'a, S: StorageSystem> VfsClient<'a, S> {
     /// (mirroring the original returning an error from the redirected open).
     pub fn open(&mut self, name: &str) -> Option<u64> {
         self.stats.calls += 1;
-        if self.system.manifest(name).is_none() {
-            return None;
-        }
+        self.system.manifest(name)?;
         let fd = self.next_fd;
         self.next_fd += 1;
         self.open_files.insert(
@@ -202,7 +200,11 @@ impl<'a, S: StorageSystem> VfsClient<'a, S> {
                 self.stats.cache_hits += 1;
             } else {
                 self.stats.cache_misses += 1;
-                self.open_files.get_mut(&fd).unwrap().cached_chunks.insert(chunk_no);
+                self.open_files
+                    .get_mut(&fd)
+                    .unwrap()
+                    .cached_chunks
+                    .insert(chunk_no);
             }
         }
         self.stats.bytes_read += ByteSize::bytes(served);
@@ -243,14 +245,19 @@ mod tests {
         assert_eq!(pool.cluster().node_count(), 32);
         let total = pool.total_contributed();
         // 32 machines contributing U(2,15) GB: expect roughly 32 × 8.5 ≈ 272 GB.
-        assert!(total > ByteSize::gb(150) && total < ByteSize::gb(400), "total {total}");
+        assert!(
+            total > ByteSize::gb(150) && total < ByteSize::gb(400),
+            "total {total}"
+        );
         assert!(pool.submit_machine_disk() >= ByteSize::gb(8));
     }
 
     #[test]
     fn vfs_open_read_close_cycle() {
         let mut ps = pool_system(2);
-        assert!(ps.store_file(&FileRecord::new("input.dat", ByteSize::gb(2))).is_stored());
+        assert!(ps
+            .store_file(&FileRecord::new("input.dat", ByteSize::gb(2)))
+            .is_stored());
         let mut vfs = VfsClient::new(&mut ps);
         let fd = vfs.open("input.dat").unwrap();
         // Sequential reads within one chunk: first read misses, later ones hit.
@@ -267,7 +274,9 @@ mod tests {
     #[test]
     fn vfs_read_past_eof_returns_zero() {
         let mut ps = pool_system(3);
-        assert!(ps.store_file(&FileRecord::new("f", ByteSize::mb(10))).is_stored());
+        assert!(ps
+            .store_file(&FileRecord::new("f", ByteSize::mb(10)))
+            .is_stored());
         let mut vfs = VfsClient::new(&mut ps);
         let fd = vfs.open("f").unwrap();
         assert_eq!(vfs.read(fd, ByteSize::mb(20).as_u64(), 100).unwrap(), 0);
@@ -288,7 +297,9 @@ mod tests {
     #[test]
     fn cache_misses_track_distinct_chunks() {
         let mut ps = pool_system(5);
-        assert!(ps.store_file(&FileRecord::new("multi", ByteSize::gb(20))).is_stored());
+        assert!(ps
+            .store_file(&FileRecord::new("multi", ByteSize::gb(20)))
+            .is_stored());
         let chunk_count = ps
             .manifest("multi")
             .unwrap()
@@ -296,7 +307,10 @@ mod tests {
             .iter()
             .filter(|c| !c.size.is_zero())
             .count();
-        assert!(chunk_count >= 2, "a 20 GB file must span several pool machines");
+        assert!(
+            chunk_count >= 2,
+            "a 20 GB file must span several pool machines"
+        );
         let mut vfs = VfsClient::new(&mut ps);
         let fd = vfs.open("multi").unwrap();
         // Read the whole file: one miss per chunk.

@@ -109,7 +109,10 @@ impl BulletSim {
     /// Create a simulator for one chunk dissemination over the given tree.
     pub fn new(tree: MulticastTree, config: BulletConfig) -> Self {
         assert!(config.packets > 0, "at least one packet required");
-        assert!(config.per_epoch_budget > 0, "download budget must be positive");
+        assert!(
+            config.per_epoch_budget > 0,
+            "download budget must be positive"
+        );
         let n = tree.len();
         let ransub = RanSub::with_fraction(n, config.ransub_fraction);
         let mut have = vec![vec![false; config.packets]; n];
@@ -138,13 +141,19 @@ impl BulletSim {
 
     /// Statistics over the non-root members.
     fn stats(&self, epoch: usize) -> EpochStats {
-        let receivers: Vec<usize> = (0..self.tree.len()).filter(|&s| s != self.tree.root()).collect();
+        let receivers: Vec<usize> = (0..self.tree.len())
+            .filter(|&s| s != self.tree.root())
+            .collect();
         let min = receivers.iter().map(|&s| self.counts[s]).min().unwrap_or(0);
         let max = receivers.iter().map(|&s| self.counts[s]).max().unwrap_or(0);
         let sum: usize = receivers.iter().map(|&s| self.counts[s]).sum();
         EpochStats {
             epoch,
-            avg: if receivers.is_empty() { 0.0 } else { sum as f64 / receivers.len() as f64 },
+            avg: if receivers.is_empty() {
+                0.0
+            } else {
+                sum as f64 / receivers.len() as f64
+            },
             min,
             max,
         }
@@ -216,7 +225,10 @@ impl BulletSim {
                 break;
             }
         }
-        BulletRun { epochs, completed_at }
+        BulletRun {
+            epochs,
+            completed_at,
+        }
     }
 }
 
@@ -242,7 +254,10 @@ mod tests {
     fn dissemination_completes() {
         let mut rng = DetRng::new(1);
         let run = BulletSim::new(paper_tree(), small_config(0.16)).run(&mut rng);
-        assert!(run.completed_at.is_some(), "all 63 nodes must eventually hold all packets");
+        assert!(
+            run.completed_at.is_some(),
+            "all 63 nodes must eventually hold all packets"
+        );
         let last = run.epochs.last().unwrap();
         assert_eq!(last.min, 200);
         assert_eq!(last.max, 200);

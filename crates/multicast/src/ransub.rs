@@ -94,7 +94,11 @@ impl RanSub {
             }
             candidates.sort_unstable();
             candidates.dedup();
-            let total: usize = 1 + tree.children(slot).iter().map(|&c| subtree_size[c]).sum::<usize>();
+            let total: usize = 1 + tree
+                .children(slot)
+                .iter()
+                .map(|&c| subtree_size[c])
+                .sum::<usize>();
             subtree_size[slot] = total;
             // Weighted-uniform compaction: keep at most subset_size candidates.
             rng.shuffle(&mut candidates);
@@ -169,7 +173,10 @@ mod tests {
         let a = engine.epoch(&tree, &mut rng);
         let b = engine.epoch(&tree, &mut rng);
         let differing = (0..tree.len()).filter(|&s| a.view(s) != b.view(s)).count();
-        assert!(differing > tree.len() / 2, "views should be re-randomised every epoch");
+        assert!(
+            differing > tree.len() / 2,
+            "views should be re-randomised every epoch"
+        );
     }
 
     #[test]
@@ -185,9 +192,15 @@ mod tests {
             let views = engine.epoch(&tree, &mut rng);
             seen.extend(views.view(leaf).iter().copied());
         }
-        assert!(seen.len() > 30, "a leaf should eventually see most of the tree, saw {}", seen.len());
+        assert!(
+            seen.len() > 30,
+            "a leaf should eventually see most of the tree, saw {}",
+            seen.len()
+        );
         // Includes members of the opposite subtree.
-        assert!(seen.iter().any(|&m| m >= 31 && m <= 46 || (1..=2).contains(&m)));
+        assert!(seen
+            .iter()
+            .any(|&m| (31..=46).contains(&m) || (1..=2).contains(&m)));
     }
 
     #[test]

@@ -42,9 +42,9 @@ impl MulticastTree {
         assert!(count > 0, "tree needs at least a root");
         let mut parents = vec![None; count];
         let mut children = vec![Vec::new(); count];
-        for i in 1..count {
+        for (i, parent) in parents.iter_mut().enumerate().skip(1) {
             let p = (i - 1) / 2;
-            parents[i] = Some(p);
+            *parent = Some(p);
             children[p].push(i);
         }
         MulticastTree {
@@ -64,7 +64,8 @@ impl MulticastTree {
         fanout: usize,
     ) -> Self {
         assert!(fanout > 0, "fanout must be positive");
-        let mut remaining: Vec<NodeRef> = replicas.iter().copied().filter(|r| *r != source).collect();
+        let mut remaining: Vec<NodeRef> =
+            replicas.iter().copied().filter(|r| *r != source).collect();
         let mut nodes = vec![source];
         let mut parents = vec![None];
         let mut children: Vec<Vec<usize>> = vec![Vec::new()];
@@ -143,7 +144,9 @@ impl MulticastTree {
 
     /// Leaf slots (members with no children).
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&s| self.children[s].is_empty()).collect()
+        (0..self.len())
+            .filter(|&s| self.children[s].is_empty())
+            .collect()
     }
 
     /// Depth of a slot (root = 0).

@@ -178,7 +178,11 @@ mod tests {
         for i in 0..200 {
             seen.insert(Id::hash(&format!("chunk_{i}")).digit(0));
         }
-        assert!(seen.len() >= 14, "top digits should be well spread, got {}", seen.len());
+        assert!(
+            seen.len() >= 14,
+            "top digits should be well spread, got {}",
+            seen.len()
+        );
     }
 
     #[test]

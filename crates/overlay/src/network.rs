@@ -187,12 +187,20 @@ impl OverlaySim {
 
     /// The `k` live nodes numerically closest to a key (replica targets).
     pub fn k_closest(&self, key: Id, k: usize) -> Vec<NodeRef> {
-        self.ring.k_closest(key, k).into_iter().map(|(_, n)| n).collect()
+        self.ring
+            .k_closest(key, k)
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect()
     }
 
     /// The `k` live successors of a key (CFS replica placement).
     pub fn successors(&self, key: Id, k: usize) -> Vec<NodeRef> {
-        self.ring.successors(key, k).into_iter().map(|(_, n)| n).collect()
+        self.ring
+            .successors(key, k)
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect()
     }
 
     /// The leaf set of a live node.
@@ -312,7 +320,8 @@ mod tests {
         let mut sim = OverlaySim::new(1000, &mut rng);
         let from = sim.random_alive(&mut rng).unwrap();
         for i in 0..20 {
-            sim.route_with_hops(from, Id::hash(&format!("f{i}"))).unwrap();
+            sim.route_with_hops(from, Id::hash(&format!("f{i}")))
+                .unwrap();
         }
         assert_eq!(sim.stats().hops.count(), 20);
         assert!(sim.stats().hops.mean() < 10.0);

@@ -106,7 +106,7 @@ mod tests {
             let a = Coord::random(&mut rng);
             let b = Coord::random(&mut rng);
             let d = a.distance(&b);
-            assert!(d >= 0.0 && d <= 0.7072);
+            assert!((0.0..=0.7072).contains(&d));
         }
     }
 

@@ -368,7 +368,11 @@ mod tests {
         assert_eq!(ring.route(Id(100)).unwrap().0, Id(100));
         assert_eq!(ring.route(Id(140)).unwrap().0, Id(100));
         assert_eq!(ring.route(Id(160)).unwrap().0, Id(200));
-        assert_eq!(ring.route(Id(150)).unwrap().0, Id(200), "tie resolves clockwise");
+        assert_eq!(
+            ring.route(Id(150)).unwrap().0,
+            Id(200),
+            "tie resolves clockwise"
+        );
         // Wrap-around: a key near the top of the space is closest to Id(100).
         assert_eq!(ring.route(Id(u128::MAX - 5)).unwrap().0, Id(100));
     }

@@ -215,7 +215,10 @@ mod tests {
         }
         let avg = total as f64 / samples as f64;
         assert!(avg > 0.5, "average hops {avg} too low");
-        assert!(avg < 8.0, "average hops {avg} should be logarithmic, not linear");
+        assert!(
+            avg < 8.0,
+            "average hops {avg} should be logarithmic, not linear"
+        );
     }
 
     #[test]
@@ -237,7 +240,10 @@ mod tests {
             // leaf-set/numerical hop.
             let prefixes: Vec<u32> = path.iter().map(|id| id.shared_prefix_digits(key)).collect();
             for w in prefixes.windows(2).take(prefixes.len().saturating_sub(2)) {
-                assert!(w[1] >= w[0], "prefix should not shrink mid-route: {prefixes:?}");
+                assert!(
+                    w[1] >= w[0],
+                    "prefix should not shrink mid-route: {prefixes:?}"
+                );
             }
         }
     }

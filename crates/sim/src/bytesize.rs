@@ -270,7 +270,10 @@ mod tests {
 
     #[test]
     fn checked_sub_behaviour() {
-        assert_eq!(ByteSize::gb(2).checked_sub(ByteSize::gb(1)), Some(ByteSize::gb(1)));
+        assert_eq!(
+            ByteSize::gb(2).checked_sub(ByteSize::gb(1)),
+            Some(ByteSize::gb(1))
+        );
         assert_eq!(ByteSize::gb(1).checked_sub(ByteSize::gb(2)), None);
     }
 

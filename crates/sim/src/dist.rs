@@ -33,7 +33,10 @@ pub struct Normal {
 impl Normal {
     /// Create a normal distribution. Panics if `std_dev` is negative or not finite.
     pub fn new(mean: f64, std_dev: f64) -> Self {
-        assert!(std_dev >= 0.0 && std_dev.is_finite(), "std_dev must be finite and >= 0");
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite(),
+            "std_dev must be finite and >= 0"
+        );
         assert!(mean.is_finite(), "mean must be finite");
         Normal { mean, std_dev }
     }
@@ -246,7 +249,7 @@ mod tests {
         let mut rng = DetRng::new(2);
         for _ in 0..50_000 {
             let x = d.sample(&mut rng);
-            assert!(x >= 50.0 && x <= 4096.0);
+            assert!((50.0..=4096.0).contains(&x));
         }
         let (mean, sd) = sample_stats(&d, 100_000, 3);
         assert!((mean - 243.0).abs() < 2.0, "mean {mean}");

@@ -75,7 +75,9 @@ impl DetRng {
     /// Derive an independent generator for a numbered sub-stream (e.g. a run index).
     pub fn fork_indexed(&self, label: &str, index: u64) -> DetRng {
         let mut child = self.fork(label);
-        child.seed = child.seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        child.seed = child
+            .seed
+            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut sm = child.seed;
         child.s = [
             splitmix64(&mut sm),
@@ -329,7 +331,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "100 elements should not stay sorted");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "100 elements should not stay sorted"
+        );
     }
 
     #[test]

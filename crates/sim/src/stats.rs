@@ -300,7 +300,11 @@ impl Figure {
     /// x value of the first series (other series are linearly interpolated).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        let _ = write!(out, "# {}\n# x = {}, y = {}\n", self.title, self.x_label, self.y_label);
+        let _ = write!(
+            out,
+            "# {}\n# x = {}, y = {}\n",
+            self.title, self.x_label, self.y_label
+        );
         let _ = write!(out, "x");
         for s in &self.series {
             let _ = write!(out, ",{}", s.name);
@@ -346,7 +350,8 @@ impl TableBuilder {
 
     /// Append a row of displayable values.
     pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 

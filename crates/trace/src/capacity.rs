@@ -117,7 +117,10 @@ mod tests {
             assert!(*c >= ByteSize::gb(2) && *c <= ByteSize::gb(15) + ByteSize::bytes(1));
         }
         // Expected mean 8.5 GB.
-        assert_eq!(model.expected_mean(), ByteSize::bytes((2 * 1024u64.pow(3) + 15 * 1024u64.pow(3)) / 2));
+        assert_eq!(
+            model.expected_mean(),
+            ByteSize::bytes((2 * 1024u64.pow(3) + 15 * 1024u64.pow(3)) / 2)
+        );
     }
 
     #[test]
@@ -125,7 +128,10 @@ mod tests {
         let mut rng = DetRng::new(3);
         let caps = CapacityModel::Fixed(ByteSize::gb(10)).sample(5, &mut rng);
         assert_eq!(caps, vec![ByteSize::gb(10); 5]);
-        assert_eq!(CapacityModel::Fixed(ByteSize::gb(10)).expected_mean(), ByteSize::gb(10));
+        assert_eq!(
+            CapacityModel::Fixed(ByteSize::gb(10)).expected_mean(),
+            ByteSize::gb(10)
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ impl TraceConfig {
         let mut files = Vec::with_capacity(self.file_count);
         for i in 0..self.file_count {
             let size = ByteSize::bytes(dist.sample(&mut rng).round() as u64);
-            files.push(FileRecord::new(format!("{}-{i:07}", self.name_prefix), size));
+            files.push(FileRecord::new(
+                format!("{}-{i:07}", self.name_prefix),
+                size,
+            ));
         }
         Trace { files }
     }
@@ -224,7 +227,10 @@ mod tests {
         // slice should total ~0.232 TB per 1000 files.
         let trace = TraceConfig::scaled(10_000).generate(2);
         let per_file_mb = trace.total_size().as_mb() / 10_000.0;
-        assert!((per_file_mb - 243.0).abs() < 5.0, "per-file {per_file_mb} MB");
+        assert!(
+            (per_file_mb - 243.0).abs() < 5.0,
+            "per-file {per_file_mb} MB"
+        );
     }
 
     #[test]

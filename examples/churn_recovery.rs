@@ -28,8 +28,15 @@ fn main() {
     let seed = 17;
 
     println!("== Availability without recovery (Figure 10 in miniature) ==");
-    println!("{} nodes, {} files, failing {} nodes one by one\n", nodes, files, failures);
-    for coding in [CodingPolicy::None, CodingPolicy::xor_2_3(), CodingPolicy::online_default()] {
+    println!(
+        "{} nodes, {} files, failing {} nodes one by one\n",
+        nodes, files, failures
+    );
+    for coding in [
+        CodingPolicy::None,
+        CodingPolicy::xor_2_3(),
+        CodingPolicy::online_default(),
+    ] {
         let mut ps = deploy(coding, nodes, files, seed);
         let mut tracker = AvailabilityTracker::build(ps.manifests());
         let sizes = AvailabilityTracker::file_sizes(ps.manifests());

@@ -33,10 +33,19 @@ fn main() {
     };
 
     // The three systems run on identically seeded pools.
-    let mut past = Past::new(build_cluster(), PastConfig { retries: 0, ..PastConfig::default() });
+    let mut past = Past::new(
+        build_cluster(),
+        PastConfig {
+            retries: 0,
+            ..PastConfig::default()
+        },
+    );
     let mut cfs = Cfs::new(
         build_cluster(),
-        CfsConfig { retries_per_block: 8, ..CfsConfig::paper_simulation() },
+        CfsConfig {
+            retries_per_block: 8,
+            ..CfsConfig::paper_simulation()
+        },
     );
     let mut ours = PeerStripe::new(
         build_cluster(),

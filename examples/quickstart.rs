@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use peerstripe::core::{
-    ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem,
-};
+use peerstripe::core::{ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem};
 use peerstripe::sim::{ByteSize, DetRng};
 use peerstripe::trace::{CapacityModel, FileRecord};
 
@@ -38,12 +36,16 @@ fn main() {
 
     // 3. Store real bytes: a 4 MB "medical image" (any single block of it is
     //    spread over several contributors).
-    let image: Vec<u8> = (0..4 * 1024 * 1024u32).map(|i| (i * 2654435761 >> 24) as u8).collect();
+    let image: Vec<u8> = (0..4 * 1024 * 1024u32)
+        .map(|i| ((i.wrapping_mul(2654435761)) >> 24) as u8)
+        .collect();
     let outcome = storage.store_data("mri-scan-0007", &image);
     println!("store outcome: {:?}", outcome);
     assert!(outcome.is_stored());
 
-    let manifest = storage.manifest("mri-scan-0007").expect("manifest recorded");
+    let manifest = storage
+        .manifest("mri-scan-0007")
+        .expect("manifest recorded");
     println!(
         "placed as {} chunk(s) over {} distinct nodes (CAT replicated on {} nodes)",
         manifest.chunks.len(),
@@ -66,7 +68,10 @@ fn main() {
     //    the lost block is regenerated elsewhere.
     let victim = manifest.chunks[0].blocks[0].node;
     let takeover = storage.cluster_mut().fail_node(victim).expect("takeover");
-    println!("node {victim} failed; file still available: {}", storage.is_file_available("mri-scan-0007"));
+    println!(
+        "node {victim} failed; file still available: {}",
+        storage.is_file_available("mri-scan-0007")
+    );
     let report = storage.handle_node_failure(victim, &takeover);
     println!(
         "recovery: {} block(s) regenerated ({}), {} chunk(s) lost",
@@ -82,6 +87,10 @@ fn main() {
     //    2 GB dataset descriptor (sizes only, no payload) and inspect the CAT.
     let big = FileRecord::new("climate-ensemble.tar", ByteSize::gb(2));
     assert!(storage.store_file(&big).is_stored());
-    let chunks = storage.manifest("climate-ensemble.tar").unwrap().chunks.len();
+    let chunks = storage
+        .manifest("climate-ensemble.tar")
+        .unwrap()
+        .chunks
+        .len();
     println!("2 GB dataset stored as {chunks} varying-size chunks");
 }

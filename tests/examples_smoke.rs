@@ -1,0 +1,72 @@
+//! Smoke test mirroring `examples/quickstart.rs`: the store → retrieve →
+//! fail → recover walkthrough must keep succeeding on a small cluster, so the
+//! shipped example cannot silently rot. (`cargo build --examples` keeps the
+//! other examples compiling; this exercises the quickstart *logic*.)
+
+use peerstripe::core::{ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem};
+use peerstripe::sim::{ByteSize, DetRng};
+use peerstripe::trace::{CapacityModel, FileRecord};
+
+#[test]
+fn quickstart_store_retrieve_on_small_cluster() {
+    // Same shape as the example: a small pool of modest contributors.
+    let mut rng = DetRng::new(2026);
+    let cluster = ClusterConfig {
+        nodes: 64,
+        capacity: CapacityModel::Uniform {
+            lo: ByteSize::mb(64),
+            hi: ByteSize::mb(256),
+        },
+        report_fraction: 1.0,
+        track_objects: true,
+    }
+    .build(&mut rng);
+    assert_eq!(cluster.node_count(), 64);
+
+    let mut storage = PeerStripe::new(
+        cluster,
+        PeerStripeConfig::default().with_coding(CodingPolicy::xor_2_3()),
+    );
+
+    // Store real bytes (1 MB keeps the test fast; the example uses 4 MB).
+    let image: Vec<u8> = (0..1024 * 1024u32)
+        .map(|i| ((i.wrapping_mul(2654435761)) >> 24) as u8)
+        .collect();
+    let outcome = storage.store_data("mri-scan-0007", &image);
+    assert!(outcome.is_stored());
+
+    let manifest = storage
+        .manifest("mri-scan-0007")
+        .expect("manifest recorded");
+    assert!(!manifest.chunks.is_empty());
+    assert!(!manifest.cat_nodes.is_empty());
+
+    // Range read touches only the chunks covering the range.
+    let slice = storage
+        .retrieve_range_data("mri-scan-0007", 500_000, 64)
+        .expect("range read");
+    assert_eq!(slice, &image[500_000..500_064]);
+
+    // Fail a node holding a block: the file stays available, the lost blocks
+    // are regenerated, and the payload still reads back bit-for-bit.
+    let victim = manifest.chunks[0].blocks[0].node;
+    let takeover = storage.cluster_mut().fail_node(victim).expect("takeover");
+    assert!(storage.is_file_available("mri-scan-0007"));
+    storage.handle_node_failure(victim, &takeover);
+    let restored = storage.retrieve_data("mri-scan-0007").expect("full read");
+    assert_eq!(restored, image);
+
+    // Metadata-only path: a file far larger than any single contributor.
+    let big = FileRecord::new("climate-ensemble.tar", ByteSize::gb(2));
+    assert!(storage.store_file(&big).is_stored());
+    assert!(storage.is_file_available("climate-ensemble.tar"));
+    let chunks = storage
+        .manifest("climate-ensemble.tar")
+        .unwrap()
+        .chunks
+        .len();
+    assert!(
+        chunks > 1,
+        "a 2 GB file must stripe over multiple chunks, got {chunks}"
+    );
+}

@@ -3,9 +3,7 @@
 
 use peerstripe::baselines::{Cfs, CfsConfig, Past, PastConfig};
 use peerstripe::core::churn::AvailabilityTracker;
-use peerstripe::core::{
-    ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem,
-};
+use peerstripe::core::{ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem};
 use peerstripe::multicast::{BulletConfig, BulletSim, MulticastTree};
 use peerstripe::sim::{ByteSize, DetRng};
 use peerstripe::trace::{CapacityModel, FileRecord, TraceConfig};
@@ -27,14 +25,26 @@ fn peerstripe_stores_what_past_cannot() {
     let file = FileRecord::new("telescope-run.raw", ByteSize::gb(5));
 
     let mut past = Past::new(cluster(40, ByteSize::gb(1), 1), PastConfig::default());
-    assert!(!past.store_file(&file).is_stored(), "PAST cannot store a 5 GB file on 1 GB nodes");
+    assert!(
+        !past.store_file(&file).is_stored(),
+        "PAST cannot store a 5 GB file on 1 GB nodes"
+    );
 
     let mut ours = PeerStripe::new(cluster(40, ByteSize::gb(1), 1), PeerStripeConfig::default());
-    assert!(ours.store_file(&file).is_stored(), "PeerStripe stripes it over many nodes");
+    assert!(
+        ours.store_file(&file).is_stored(),
+        "PeerStripe stripes it over many nodes"
+    );
     assert!(ours.is_file_available("telescope-run.raw"));
 
-    let mut cfs = Cfs::new(cluster(40, ByteSize::gb(1), 1), CfsConfig::paper_simulation());
-    assert!(cfs.store_file(&file).is_stored(), "CFS can also store it, with many more chunks");
+    let mut cfs = Cfs::new(
+        cluster(40, ByteSize::gb(1), 1),
+        CfsConfig::paper_simulation(),
+    );
+    assert!(
+        cfs.store_file(&file).is_stored(),
+        "CFS can also store it, with many more chunks"
+    );
     let cfs_chunks = cfs.metrics().mean_chunks_per_file();
     let our_chunks = ours.metrics().mean_chunks_per_file();
     assert!(
@@ -65,7 +75,10 @@ fn full_lifecycle_store_fail_recover_retrieve() {
             .unwrap();
         let takeover = ps.cluster_mut().fail_node(victim).unwrap();
         let report = ps.handle_node_failure(victim, &takeover);
-        assert_eq!(report.chunks_lost, 0, "coding + recovery must not lose chunks");
+        assert_eq!(
+            report.chunks_lost, 0,
+            "coding + recovery must not lose chunks"
+        );
         assert!(ps.is_file_available("genome.fasta"));
     }
     assert_eq!(ps.retrieve_data("genome.fasta").unwrap(), data);
@@ -76,7 +89,11 @@ fn availability_ordering_matches_figure_10() {
     let nodes = 300;
     let files = nodes * 10;
     let mut unavailable = Vec::new();
-    for coding in [CodingPolicy::None, CodingPolicy::xor_2_3(), CodingPolicy::online_default()] {
+    for coding in [
+        CodingPolicy::None,
+        CodingPolicy::xor_2_3(),
+        CodingPolicy::online_default(),
+    ] {
         let mut rng = DetRng::new(5);
         let c = ClusterConfig::scaled(nodes).build(&mut rng);
         let mut ps = PeerStripe::new(c, PeerStripeConfig::default().with_coding(coding));
@@ -92,8 +109,14 @@ fn availability_ordering_matches_figure_10() {
         }
         unavailable.push(tracker.unavailable_pct());
     }
-    assert!(unavailable[0] > unavailable[1], "no coding loses more than XOR: {unavailable:?}");
-    assert!(unavailable[1] >= unavailable[2], "XOR loses at least as much as online: {unavailable:?}");
+    assert!(
+        unavailable[0] > unavailable[1],
+        "no coding loses more than XOR: {unavailable:?}"
+    );
+    assert!(
+        unavailable[1] >= unavailable[2],
+        "XOR loses at least as much as online: {unavailable:?}"
+    );
 }
 
 #[test]
@@ -103,7 +126,9 @@ fn multicast_tree_from_overlay_disseminates_replicas() {
     let cluster = ClusterConfig::scaled(200).build(&mut rng);
     let overlay = cluster.overlay();
     let source = overlay.random_alive(&mut rng).unwrap();
-    let replicas: Vec<_> = overlay.ring().k_closest(peerstripe::overlay::Id::hash("block_0_1"), 32)
+    let replicas: Vec<_> = overlay
+        .ring()
+        .k_closest(peerstripe::overlay::Id::hash("block_0_1"), 32)
         .into_iter()
         .map(|(_, n)| n)
         .collect();
@@ -120,12 +145,18 @@ fn multicast_tree_from_overlay_disseminates_replicas() {
         },
     )
     .run(&mut rng);
-    assert!(run.completed_at.is_some(), "all replicas receive the whole chunk");
+    assert!(
+        run.completed_at.is_some(),
+        "all replicas receive the whole chunk"
+    );
 }
 
 #[test]
 fn metadata_and_byte_paths_agree_on_placement_shape() {
-    let mut ps = PeerStripe::new(cluster(30, ByteSize::mb(64), 9), PeerStripeConfig::default());
+    let mut ps = PeerStripe::new(
+        cluster(30, ByteSize::mb(64), 9),
+        PeerStripeConfig::default(),
+    );
     let mut rng = DetRng::new(10);
     let data: Vec<u8> = (0..4_000_000).map(|_| rng.next_u32() as u8).collect();
     assert!(ps.store_data("bytes.bin", &data).is_stored());
@@ -137,13 +168,21 @@ fn metadata_and_byte_paths_agree_on_placement_shape() {
     // Both paths size chunks from the same getCapacity probes, so the chunk
     // counts must be in the same ballpark (they probe different key sequences,
     // so exact equality is not expected).
-    assert!(bytes_chunks.abs_diff(meta_chunks) <= 2, "{bytes_chunks} vs {meta_chunks}");
+    assert!(
+        bytes_chunks.abs_diff(meta_chunks) <= 2,
+        "{bytes_chunks} vs {meta_chunks}"
+    );
 }
 
 #[test]
 fn cat_reconstruction_survives_total_cat_loss() {
-    let mut ps = PeerStripe::new(cluster(40, ByteSize::mb(400), 11), PeerStripeConfig::default());
-    assert!(ps.store_file(&FileRecord::new("reconstruct-me", ByteSize::gb(2))).is_stored());
+    let mut ps = PeerStripe::new(
+        cluster(40, ByteSize::mb(400), 11),
+        PeerStripeConfig::default(),
+    );
+    assert!(ps
+        .store_file(&FileRecord::new("reconstruct-me", ByteSize::gb(2)))
+        .is_stored());
     let original: Vec<ByteSize> = ps
         .manifest("reconstruct-me")
         .unwrap()

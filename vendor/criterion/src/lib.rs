@@ -1,0 +1,211 @@
+//! Offline stand-in for the real `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` / `iter_batched`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros — backed
+//! by a deliberately small timing loop: a short warm-up, then a fixed number
+//! of timed iterations, reporting the mean and minimum per-iteration time.
+//! There is no statistical analysis, plotting, or HTML report; the point is
+//! that `cargo bench` compiles and produces comparable wall-clock numbers
+//! without network access.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted for API compatibility;
+/// the stub times each routine invocation individually either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_iters: 5,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self }
+    }
+
+    /// Run a single named benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&name.to_string(), self.measurement_iters, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub uses a fixed iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stub's warm-up is a single call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stub uses a fixed iteration count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one named benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&name.to_string(), self.criterion.measurement_iters, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(name: &str, iters: u32, f: &mut impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters,
+        total: Duration::ZERO,
+        min: Duration::MAX,
+        timed: 0,
+    };
+    f(&mut bencher);
+    if bencher.timed > 0 {
+        let mean = bencher.total / bencher.timed;
+        println!(
+            "  {name:<50} mean {mean:>12.3?}   min {:>12.3?}",
+            bencher.min
+        );
+    } else {
+        println!("  {name:<50} (no measurement)");
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u32,
+    total: Duration,
+    min: Duration,
+    timed: u32,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warm-up call.
+        black_box(routine());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.record(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.record(start.elapsed());
+        }
+    }
+
+    fn record(&mut self, elapsed: Duration) {
+        self.total += elapsed;
+        self.min = self.min.min(elapsed);
+        self.timed += 1;
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name (both the plain and the `config = ...` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        let mut runs = 0u32;
+        group.bench_function("iter", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function("iter_batched", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3],
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,508 @@
+//! Offline stand-in for the real `proptest` crate.
+//!
+//! The build environment has no network access, so this vendor crate provides
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (including `#![proptest_config(...)]`),
+//! * [`Strategy`] implementations for integer/float ranges, [`any`] over the
+//!   primitive types, [`collection::vec`] / [`collection::hash_set`], and
+//!   string generation from a small regex subset (`[class]` atoms with
+//!   `{n,m}` / `?` / `*` / `+` quantifiers),
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from real proptest: inputs are sampled from a deterministic
+//! per-test RNG (seeded from the test's name), there is **no shrinking**, and
+//! `prop_assert*` failures panic immediately like `assert*`. That trades
+//! minimal counterexamples for zero dependencies, which is the right trade
+//! for an offline build.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 RNG used to sample test inputs.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from the test's name, so every test gets its own
+    /// reproducible input stream.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, folded into a fixed session seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128 random bits.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be non-zero.
+    fn below_u128(&mut self, n: u128) -> u128 {
+        // Modulo bias is irrelevant at test-sampling fidelity.
+        self.next_u128() % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! signed_small_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                (self.start as i128 + rng.below_u128(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_small_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn sample(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below_u128(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<i128> {
+    type Value = i128;
+    fn sample(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        self.start.wrapping_add(rng.below_u128(span) as i128)
+    }
+}
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.f64_unit() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+/// Generate a `String` matching a small regex subset: concatenated atoms
+/// (literal characters or `[...]` classes), each optionally followed by
+/// `{n}` / `{n,m}` / `?` / `*` / `+`.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a full-domain uniform generator.
+pub trait Arbitrary {
+    /// Draw a uniform value over the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u128() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only: arbitrary bit patterns (NaN, infinities) make
+        // poor default test inputs.
+        (rng.f64_unit() - 0.5) * 2.0e12
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-domain strategy for a primitive type, mirroring `proptest::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies (`vec`, `hash_set`).
+
+    use super::*;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate a `Vec` whose length is drawn from `size` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate a `HashSet` whose target size is drawn from `size`.
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            // Duplicate draws don't grow the set; cap the attempts so a
+            // narrow element domain cannot loop forever.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 50 + 200 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string generation
+// ---------------------------------------------------------------------------
+
+struct RegexAtom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse_regex(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let span = atom.max - atom.min + 1;
+        let count = atom.min + rng.below_u128(span as u128) as usize;
+        for _ in 0..count {
+            let idx = rng.below_u128(atom.choices.len() as u128) as usize;
+            out.push(atom.choices[idx]);
+        }
+    }
+    out
+}
+
+fn parse_regex(pattern: &str) -> Vec<RegexAtom> {
+    let mut atoms: Vec<RegexAtom> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => {
+                            panic!("proptest (vendored): unterminated `[` in regex `{pattern}`")
+                        }
+                        Some(']') => break,
+                        Some('^') if prev.is_none() && class.is_empty() => {
+                            panic!(
+                                "proptest (vendored): negated classes unsupported in `{pattern}`"
+                            )
+                        }
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.unwrap();
+                            let hi = chars.next().unwrap();
+                            for code in (lo as u32)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(code) {
+                                    class.push(ch);
+                                }
+                            }
+                            prev = None;
+                        }
+                        Some('\\') => {
+                            let esc = chars.next().unwrap_or('\\');
+                            class.push(esc);
+                            prev = Some(esc);
+                        }
+                        Some(ch) => {
+                            class.push(ch);
+                            prev = Some(ch);
+                        }
+                    }
+                }
+                class
+            }
+            '\\' => vec![chars.next().unwrap_or('\\')],
+            '.' => ('a'..='z').chain('A'..='Z').chain('0'..='9').collect(),
+            '(' | ')' | '|' => {
+                panic!("proptest (vendored): regex feature `{c}` unsupported in `{pattern}`")
+            }
+            other => vec![other],
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad `{n,m}` quantifier"),
+                        hi.trim().parse().expect("bad `{n,m}` quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad `{n}` quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(
+            !choices.is_empty(),
+            "empty character class in regex `{pattern}`"
+        );
+        atoms.push(RegexAtom { choices, min, max });
+    }
+    atoms
+}
+
+// ---------------------------------------------------------------------------
+// Config + macros
+// ---------------------------------------------------------------------------
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }` becomes
+/// a `#[test]` that samples its arguments and runs the body `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_internal!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_internal!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_internal {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::ProptestConfig = $cfg;
+            let mut __pt_rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __pt_case in 0..__pt_config.cases {
+                let _ = __pt_case;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __pt_rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_internal!(($cfg); $($rest)*);
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Assert a property holds; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert two expressions are equal; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert two expressions are not equal; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::collection;
+    pub use crate::{any, Any, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..3.0).sample(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let s = (2usize..5).sample(&mut rng);
+            assert!((2..5).contains(&s));
+            let i = (-10i64..-2).sample(&mut rng);
+            assert!((-10..-2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::from_name("regex");
+        for _ in 0..500 {
+            let s = "[a-zA-Z][a-zA-Z0-9.-]{0,24}".sample(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 25);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic());
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn collections_respect_size() {
+        let mut rng = TestRng::from_name("collections");
+        for _ in 0..200 {
+            let v = collection::vec(any::<u8>(), 1..7).sample(&mut rng);
+            assert!((1..7).contains(&v.len()));
+            let s = collection::hash_set(any::<u128>(), 1..64).sample(&mut rng);
+            assert!((1..64).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: addition is commutative.
+        #[test]
+        fn macro_smoke(a in any::<u32>(), b in any::<u32>()) {
+            prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline stand-in for the real `rand` crate.
+//!
+//! The workspace's deterministic RNG (`peerstripe_sim::DetRng`) exposes a
+//! `rand`-compatible adapter so that external `rand`-based APIs can be driven
+//! from it. This vendor crate provides exactly the trait surface that adapter
+//! needs: a fallible [`rand_core::TryRng`] and an infallible [`Rng`] that is
+//! blanket-implemented for every `TryRng` whose error is
+//! [`Infallible`](std::convert::Infallible).
+
+pub mod rand_core {
+    //! Core RNG traits (mirrors the `rand_core` layout of the real crate).
+
+    /// A fallible random number generator.
+    pub trait TryRng {
+        /// Error reported when the generator fails.
+        type Error;
+
+        /// Next 32 random bits.
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+        /// Next 64 random bits.
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+        /// Fill `dest` with random bytes.
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}
+
+/// An infallible random number generator.
+pub trait Rng {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T> Rng for T
+where
+    T: rand_core::TryRng<Error = std::convert::Infallible>,
+{
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => {}
+            Err(e) => match e {},
+        }
+    }
+}

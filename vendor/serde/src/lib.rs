@@ -1,0 +1,356 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The build environment has no network access, so this workspace vendors the
+//! small serialization surface it actually uses instead of depending on
+//! crates.io. The data model is a JSON-shaped [`value::Value`] tree: a type is
+//! [`Serialize`] if it can render itself into a `Value`, and [`Deserialize`]
+//! if it can reconstruct itself from one. The companion `serde_json` vendor
+//! crate turns `Value` trees into JSON text and back.
+//!
+//! `#[derive(Serialize, Deserialize)]` comes from the vendored `serde_derive`
+//! proc-macro, re-exported here exactly like the real crate does, so user code
+//! (`use serde::{Deserialize, Serialize};`) is source-compatible.
+//!
+//! Numbers are kept as their literal text ([`value::Value::Num`]) rather than
+//! as `f64`, so `u64::MAX` and `u128` identifiers round-trip without losing
+//! precision.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The JSON-shaped data model shared by `Serialize` and `Deserialize`.
+
+    /// A JSON-shaped value tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON `true` / `false`.
+        Bool(bool),
+        /// A number, kept as its literal text for lossless round-trips.
+        Num(String),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object; insertion order is preserved.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The string payload, if this is a `Str`.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The fields, if this is an `Obj`.
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an `Arr`.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The literal number text, if this is a `Num`.
+        pub fn as_num(&self) -> Option<&str> {
+            match self {
+                Value::Num(n) => Some(n),
+                _ => None,
+            }
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization error type.
+
+    /// Why a `Value` could not be turned back into the requested type.
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Build an error from any displayable message.
+        pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Error {
+                msg: msg.to_string(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+use value::Value;
+
+/// A type that can render itself into the [`value::Value`] data model.
+pub trait Serialize {
+    /// Render `self` as a `Value` tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from the [`value::Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a `Value` tree.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+/// Look up and deserialize a named struct field (used by the derive macro).
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    fields: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, de::Error> {
+    let (_, v) = fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .ok_or_else(|| de::Error::custom(format!("missing field `{name}` for {ty}")))?;
+    T::from_value(v)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                v.as_num()
+                    .ok_or_else(|| de::Error::custom(concat!("expected number for ", stringify!($t))))?
+                    .parse()
+                    .map_err(de::Error::custom)
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if self.is_finite() {
+                    // `{:?}` prints the shortest representation that round-trips.
+                    Value::Num(format!("{:?}", self))
+                } else {
+                    // JSON has no NaN/Infinity tokens; emit `null` like the
+                    // real serde_json does.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                if matches!(v, Value::Null) {
+                    // Round-trip partner of the non-finite `null` above
+                    // (unlike real serde_json, which rejects null here).
+                    return Ok(<$t>::NAN);
+                }
+                v.as_num()
+                    .ok_or_else(|| de::Error::custom(concat!("expected number for ", stringify!($t))))?
+                    .parse()
+                    .map_err(de::Error::custom)
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(de::Error::custom("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| de::Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| de::Error::custom("expected string for char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom(
+                "expected single-character string for char",
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_arr()
+            .ok_or_else(|| de::Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let arr = v
+            .as_arr()
+            .ok_or_else(|| de::Error::custom("expected array for pair"))?;
+        if arr.len() != 2 {
+            return Err(de::Error::custom("expected two-element array for pair"));
+        }
+        Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_obj()
+            .ok_or_else(|| de::Error::custom("expected object for map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_obj()
+            .ok_or_else(|| de::Error::custom("expected object for map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal `serde` whose data model is a small JSON-oriented [`Value`] tree.
+//! This proc-macro crate derives that crate's `Serialize` / `Deserialize`
+//! traits for the type shapes the workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (one-field newtypes serialize as their inner value, which
+//!   also covers `#[serde(transparent)]`; wider tuples as arrays),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! There is no `syn`/`quote` here either: the input item is parsed directly
+//! from the `proc_macro::TokenStream`, and the generated impl is rendered to a
+//! string and re-parsed. Generic types are not supported (the workspace has
+//! none); encountering one is a compile-time panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// Derive the vendored `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive the vendored `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+/// The shape of the fields of a struct or of one enum variant.
+enum Fields {
+    /// `struct S;` / `Variant`
+    Unit,
+    /// `struct S { a: T, b: U }` — the field names, in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — the arity.
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks: Tokens = input.into_iter().peekable();
+    skip_attributes(&mut toks);
+    skip_visibility(&mut toks);
+
+    let keyword = expect_ident(&mut toks);
+    let name = expect_ident(&mut toks);
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_struct_fields(&mut toks)),
+        "enum" => ItemKind::Enum(parse_enum_body(&mut toks)),
+        other => panic!("serde_derive (vendored): cannot derive for `{other} {name}`"),
+    };
+    Item { name, kind }
+}
+
+/// Skip any number of leading `#[...]` attributes.
+fn skip_attributes(toks: &mut Tokens) {
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            _ => panic!("serde_derive (vendored): malformed attribute"),
+        }
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(toks: &mut Tokens) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive (vendored): expected identifier, found {other:?}"),
+    }
+}
+
+/// After `struct Name`, the remainder is `{...}`, `(...) ;`, or `;`.
+fn parse_struct_fields(toks: &mut Tokens) -> Fields {
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde_derive (vendored): malformed struct body: {other:?}"),
+    }
+}
+
+/// Extract field names from `a: T, b: U, ...`, tolerating per-field attributes,
+/// visibility, and commas nested inside `<...>` generic arguments.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks: Tokens = stream.into_iter().peekable();
+    loop {
+        skip_attributes(&mut toks);
+        skip_visibility(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive (vendored): expected field name, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde_derive (vendored): expected `:` after field name, found {other:?}")
+            }
+        }
+        fields.push(name);
+        // Consume the type: everything up to the next comma at angle-depth 0.
+        let mut angle_depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        toks.next();
+                        break;
+                    }
+                    toks.next();
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant: top-level commas at
+/// angle-depth 0 separate fields.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    if toks.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for tok in toks {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    saw_tokens_since_comma = false;
+                    count += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    // A trailing comma (`(T,)`) should not count an extra field.
+    if !saw_tokens_since_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// After `enum Name`, parse `{ Variant, Variant(T), Variant { a: T }, ... }`.
+fn parse_enum_body(toks: &mut Tokens) -> Vec<Variant> {
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive (vendored): malformed enum body: {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut toks: Tokens = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive (vendored): expected variant name, found {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                toks.next();
+                Fields::Named(parse_named_fields(stream))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                toks.next();
+                Fields::Tuple(count_tuple_fields(stream))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        for tok in toks.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => "::serde::value::Value::Null".to_string(),
+        ItemKind::Struct(Fields::Named(fields)) => named_to_value(fields, "self.", ""),
+        ItemKind::Struct(Fields::Tuple(arity)) => tuple_to_value(*arity, "self."),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => ::serde::value::Value::Str(\"{vname}\".to_string()),"
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let pat: Vec<String> = fields.iter().map(|f| format!("ref {f}")).collect();
+                        let inner = named_to_value(fields, "", "*");
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => ::serde::value::Value::Obj(vec![(\"{vname}\".to_string(), {inner})]),",
+                            pat.join(", ")
+                        );
+                    }
+                    Fields::Tuple(arity) => {
+                        let pat: Vec<String> = (0..*arity).map(|i| format!("ref __f{i}")).collect();
+                        let inner = tuple_to_value_bound(*arity);
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({}) => ::serde::value::Value::Obj(vec![(\"{vname}\".to_string(), {inner})]),",
+                            pat.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match *self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }} \
+         }}"
+    )
+}
+
+/// `Value::Obj` expression for named fields accessed as `{access}{deref}{field}`.
+fn named_to_value(fields: &[String], access: &str, deref: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{deref}{access}{f}))")
+        })
+        .collect();
+    format!("::serde::value::Value::Obj(vec![{}])", entries.join(", "))
+}
+
+/// Value expression for tuple fields accessed as `{access}0`, `{access}1`, ...
+/// One field (a newtype) serializes as its inner value, like real serde.
+fn tuple_to_value(arity: usize, access: &str) -> String {
+    if arity == 1 {
+        return format!("::serde::Serialize::to_value(&{access}0)");
+    }
+    let entries: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Serialize::to_value(&{access}{i})"))
+        .collect();
+    format!("::serde::value::Value::Arr(vec![{}])", entries.join(", "))
+}
+
+/// Same as [`tuple_to_value`] but over match-bound `__f{i}` references.
+fn tuple_to_value_bound(arity: usize) -> String {
+    if arity == 1 {
+        return "::serde::Serialize::to_value(__f0)".to_string();
+    }
+    let entries: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+        .collect();
+    format!("::serde::value::Value::Arr(vec![{}])", entries.join(", "))
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!("Ok({name})"),
+        ItemKind::Struct(Fields::Named(fields)) => {
+            format!(
+                "let __fields = __v.as_obj().ok_or_else(|| ::serde::de::Error::custom(\
+                     \"expected JSON object for struct {name}\"))?; \
+                 Ok({name} {{ {} }})",
+                named_from_fields(fields, name)
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(arity)) => tuple_from_value(*arity, name, "__v"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(unit_arms, "\"{vname}\" => return Ok({name}::{vname}),");
+                    }
+                    Fields::Named(fields) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vname}\" => {{ \
+                                 let __fields = __inner.as_obj().ok_or_else(|| \
+                                     ::serde::de::Error::custom(\"expected JSON object for variant {name}::{vname}\"))?; \
+                                 return Ok({name}::{vname} {{ {} }}); }}",
+                            named_from_fields(fields, &format!("{name}::{vname}"))
+                        );
+                    }
+                    Fields::Tuple(arity) => {
+                        let ctor = tuple_from_value(*arity, &format!("{name}::{vname}"), "__inner");
+                        let _ = write!(tagged_arms, "\"{vname}\" => {{ return {ctor}; }}");
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __v.as_str() {{ \
+                     match __s {{ {unit_arms} _ => {{}} }} \
+                 }} \
+                 if let Some(__obj) = __v.as_obj() {{ \
+                     if __obj.len() == 1 {{ \
+                         let (__tag, __inner) = &__obj[0]; \
+                         match __tag.as_str() {{ {tagged_arms} _ => {{}} }} \
+                     }} \
+                 }} \
+                 Err(::serde::de::Error::custom(\"no variant of enum {name} matched\"))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+             fn from_value(__v: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::de::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+/// `field: serde::__field(__fields, \"field\", \"Ty\")?, ...` initializers.
+fn named_from_fields(fields: &[String], ty: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__field(__fields, \"{f}\", \"{ty}\")?"))
+        .collect();
+    inits.join(", ")
+}
+
+/// Constructor expression deserializing a tuple struct / variant from `{src}`.
+fn tuple_from_value(arity: usize, ctor: &str, src: &str) -> String {
+    if arity == 1 {
+        return format!("Ok({ctor}(::serde::Deserialize::from_value({src})?))");
+    }
+    let elems: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+        .collect();
+    format!(
+        "{{ let __arr = {src}.as_arr().ok_or_else(|| ::serde::de::Error::custom(\
+             \"expected JSON array for {ctor}\"))?; \
+           if __arr.len() != {arity} {{ \
+               return Err(::serde::de::Error::custom(\"wrong tuple arity for {ctor}\")); }} \
+           Ok({ctor}({})) }}",
+        elems.join(", ")
+    )
+}
