@@ -1,0 +1,59 @@
+//! Benches the Reed–Solomon encode kernels: serial vs `std::thread::scope`-
+//! sharded parallel parity generation at 1–4 MB chunks, with the online code's
+//! encode at the same chunk sizes as the paper's point of comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peerstripe_erasure::{ErasureCode, OnlineCode, ReedSolomonCode};
+use peerstripe_sim::{ByteSize, DetRng};
+use std::time::Duration;
+
+fn chunk(size: ByteSize, seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    (0..size.as_u64()).map(|_| rng.next_u32() as u8).collect()
+}
+
+/// RS(64, 96): 64 data + 32 parity blocks, 50 % parity work per byte — the
+/// regime where sharding parity rows across cores pays off.
+fn bench_rs_serial_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_encode");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    let code = ReedSolomonCode::new(64, 32);
+    for mb in [1u64, 2, 4] {
+        let data = chunk(ByteSize::mb(mb), mb);
+        group.bench_function(format!("serial/{mb}MB"), |b| {
+            b.iter(|| code.encode_serial(&data))
+        });
+        group.bench_function(format!("parallel/{mb}MB"), |b| {
+            b.iter(|| code.parallel_encode(&data))
+        });
+    }
+    group.finish();
+}
+
+/// The online code encoding the same chunks: sub-optimal recovery, but cheaper
+/// encoding — the paper's Table 2 trade-off at bench granularity.
+fn bench_online_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_vs_online_encode");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    let online = OnlineCode::with_overhead(96, 0.01, 3, 1.25);
+    for mb in [1u64, 4] {
+        let data = chunk(ByteSize::mb(mb), mb + 10);
+        group.bench_function(format!("online/{mb}MB"), |b| {
+            b.iter(|| online.encode(&data))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rs_serial_vs_parallel,
+    bench_online_comparison
+);
+criterion_main!(benches);

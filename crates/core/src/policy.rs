@@ -13,12 +13,16 @@
 //!   per chunk at `1/n` extra storage;
 //! * [`CodingPolicy::Online`] — rateless online-code placement; a configurable
 //!   number of placed blocks with ~3 % byte overhead and a tolerance of two lost
-//!   blocks per chunk (the Figure 10 configuration).
+//!   blocks per chunk (the Figure 10 configuration);
+//! * [`CodingPolicy::ReedSolomon`] — *optimal* (data, parity) placement: any
+//!   `data` of the `data + parity` placed blocks recover the chunk with
+//!   certainty, the baseline the paper's Section 4.2 trade-off discussion
+//!   compares the online code against.
 //!
 //! The byte-level codecs behind these policies live in `peerstripe-erasure`;
 //! [`CodingPolicy::codec`] builds the matching codec for the real-data path.
 
-use peerstripe_erasure::{ErasureCode, NullCode, OnlineCode, XorCode};
+use peerstripe_erasure::{ErasureCode, NullCode, OnlineCode, ReedSolomonCode, XorCode};
 use peerstripe_sim::ByteSize;
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +47,15 @@ pub enum CodingPolicy {
         /// Byte overhead of the online code itself (≈ 1.03 for ε = 0.01, q = 3).
         overhead: f64,
     },
+    /// Optimal GF(256) Reed–Solomon placement: `data + parity` block objects
+    /// per chunk, of which **any** `data` recover the chunk (no probabilistic
+    /// slack and no byte-level overhead beyond the parity blocks themselves).
+    ReedSolomon {
+        /// Number of data blocks per chunk.
+        data: usize,
+        /// Number of parity blocks per chunk (the tolerable losses).
+        parity: usize,
+    },
 }
 
 impl CodingPolicy {
@@ -61,12 +74,21 @@ impl CodingPolicy {
         }
     }
 
+    /// The default Reed–Solomon configuration: six placed blocks of which any
+    /// four recover the chunk — the same 6-placed / 2-tolerable geometry as
+    /// [`CodingPolicy::online_default`], but optimal (recovery from any
+    /// minimal subset is certain, not probabilistic).
+    pub fn rs_default() -> Self {
+        CodingPolicy::ReedSolomon { data: 4, parity: 2 }
+    }
+
     /// Short name used in figures and tables.
     pub fn label(&self) -> &'static str {
         match self {
             CodingPolicy::None => "No error code",
             CodingPolicy::Xor { .. } => "XOR code",
             CodingPolicy::Online { .. } => "Online code",
+            CodingPolicy::ReedSolomon { .. } => "Reed-Solomon code",
         }
     }
 
@@ -76,6 +98,7 @@ impl CodingPolicy {
             CodingPolicy::None => 1,
             CodingPolicy::Xor { group } => group + 1,
             CodingPolicy::Online { placed, .. } => placed,
+            CodingPolicy::ReedSolomon { data, parity } => data + parity,
         }
     }
 
@@ -89,6 +112,7 @@ impl CodingPolicy {
             CodingPolicy::Online {
                 placed, tolerable, ..
             } => placed - tolerable,
+            CodingPolicy::ReedSolomon { data, .. } => data,
         }
     }
 
@@ -98,6 +122,7 @@ impl CodingPolicy {
             CodingPolicy::None => 0,
             CodingPolicy::Xor { .. } => 1,
             CodingPolicy::Online { tolerable, .. } => tolerable,
+            CodingPolicy::ReedSolomon { parity, .. } => parity,
         }
     }
 
@@ -123,6 +148,9 @@ impl CodingPolicy {
             } => ByteSize::bytes(
                 ((chunk.as_u64() as f64 * overhead) / (placed - tolerable) as f64).ceil() as u64,
             ),
+            CodingPolicy::ReedSolomon { data, .. } => {
+                ByteSize::bytes(chunk.as_u64().div_ceil(data as u64))
+            }
         }
     }
 
@@ -146,6 +174,7 @@ impl CodingPolicy {
                 tolerable,
                 overhead,
             } => overhead * placed as f64 / (placed - tolerable) as f64,
+            CodingPolicy::ReedSolomon { data, parity } => (data + parity) as f64 / data as f64,
         }
     }
 
@@ -190,6 +219,18 @@ impl CodingPolicy {
                     3,
                     group_overhead.max(overhead).max(1.1),
                 ))
+            }
+            CodingPolicy::ReedSolomon { data, parity } => {
+                // Scale the (data, parity) geometry to at least `source_blocks`
+                // source blocks while staying inside GF(256)'s 256-block cap.
+                // Any `k·data` of the `k·(data + parity)` codec blocks decode,
+                // so losing `parity` of the `data + parity` placed objects —
+                // each holding every k-th codec block round-robin — loses at
+                // most `k·parity` codec blocks and recovery stays certain.
+                let k = source_blocks
+                    .div_ceil(data)
+                    .clamp(1, (256 / (data + parity)).max(1));
+                Box::new(ReedSolomonCode::new(k * data, k * parity))
             }
         }
     }
@@ -249,9 +290,41 @@ mod tests {
         assert_eq!(CodingPolicy::None.codec(8).name(), "Null");
         assert_eq!(CodingPolicy::xor_2_3().codec(8).name(), "XOR");
         assert_eq!(CodingPolicy::online_default().codec(64).name(), "Online");
+        assert_eq!(CodingPolicy::rs_default().codec(16).name(), "ReedSolomon");
         // XOR codec rounds the block count to a multiple of the group size.
         let codec = CodingPolicy::xor_2_3().codec(7);
         assert_eq!(codec.source_blocks(), 8);
+        // Reed-Solomon is optimal: the codec decodes from exactly its data
+        // blocks, with certainty — min_decode_blocks == source_blocks...
+        let rs = CodingPolicy::rs_default().codec(16);
+        assert_eq!(rs.source_blocks(), 16);
+        assert_eq!(rs.min_decode_blocks(), rs.source_blocks());
+        assert_eq!(rs.encoded_blocks(), 24, "4:2 geometry scaled by k = 4");
+        // ...in contrast to the online code, whose (1 + ε)·n' decode bound
+        // needs strictly more than n blocks (and only probabilistically).
+        let online = CodingPolicy::online_default().codec(16);
+        assert!(online.min_decode_blocks() > online.source_blocks());
+        // The RS geometry scales down to stay within GF(256)'s 256-block cap.
+        let big = CodingPolicy::rs_default().codec(1024);
+        assert!(big.encoded_blocks() <= 256);
+        assert_eq!(big.min_decode_blocks(), big.source_blocks());
+    }
+
+    #[test]
+    fn rs_default_matches_online_geometry_but_optimally() {
+        let rs = CodingPolicy::rs_default();
+        let online = CodingPolicy::online_default();
+        assert_eq!(rs.placed_blocks(), online.placed_blocks());
+        assert_eq!(rs.tolerable_losses(), online.tolerable_losses());
+        assert_eq!(rs.min_blocks_needed(), 4);
+        // Optimality shows up as strictly lower placement-level overhead:
+        // 6/4 = 1.5 vs the online placement's 1.03 · 6/4 ≈ 1.545.
+        assert!((rs.storage_overhead() - 1.5).abs() < 1e-12);
+        assert!(rs.storage_overhead() < online.storage_overhead());
+        // Section 4.3 capacity translation: 10 MB reports → 40 MB chunks.
+        assert_eq!(rs.chunk_size_for_report(ByteSize::mb(10)), ByteSize::mb(40));
+        assert_eq!(rs.block_size(ByteSize::mb(40)), ByteSize::mb(10));
+        assert_eq!(rs.stored_size(ByteSize::mb(40)), ByteSize::mb(60));
     }
 
     #[test]
@@ -259,6 +332,7 @@ mod tests {
         assert_eq!(CodingPolicy::None.label(), "No error code");
         assert_eq!(CodingPolicy::xor_2_3().label(), "XOR code");
         assert_eq!(CodingPolicy::online_default().label(), "Online code");
+        assert_eq!(CodingPolicy::rs_default().label(), "Reed-Solomon code");
     }
 
     #[test]
@@ -267,6 +341,7 @@ mod tests {
             CodingPolicy::None,
             CodingPolicy::xor_2_3(),
             CodingPolicy::online_default(),
+            CodingPolicy::rs_default(),
         ] {
             let chunk = ByteSize::bytes(81_285_373);
             let per_block = policy.block_size(chunk);

@@ -1,0 +1,229 @@
+//! Arithmetic over the Galois field GF(2⁸), the coefficient field of the
+//! Reed–Solomon codec ([`crate::rs`]).
+//!
+//! Elements are bytes; addition is XOR and multiplication is polynomial
+//! multiplication modulo the primitive polynomial `x⁸ + x⁴ + x³ + x² + 1`
+//! (0x11d), the conventional choice for storage Reed–Solomon codes.  All
+//! products are resolved through logarithm/antilogarithm tables built at
+//! compile time in a `const` context, so field operations are two table
+//! lookups and an add.
+//!
+//! The encoder hot loop never multiplies byte-by-byte through the log tables:
+//! [`mul_slice`] and [`mul_add_slice`] first materialise the 256-entry product
+//! row of the constant coefficient (it lives comfortably in L1) and then
+//! stream the operand slices through it, which is the standard cache-friendly
+//! kernel shape for software Reed–Solomon.
+
+use crate::code::xor_into;
+
+/// The primitive polynomial x⁸ + x⁴ + x³ + x² + 1 defining the field.
+const POLY: u16 = 0x11d;
+
+/// Antilog table: `EXP[i] = g^i` for the generator `g = 2`, doubled so that
+/// `EXP[log a + log b]` needs no reduction modulo 255.
+const EXP: [u8; 512] = EXP_LOG.0;
+
+/// Log table: `LOG[a]` is the discrete logarithm of `a` (unused slot 0).
+const LOG: [u8; 256] = EXP_LOG.1;
+
+const EXP_LOG: ([u8; 512], [u8; 256]) = build_tables();
+
+const fn build_tables() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Double the antilog table: log a + log b ≤ 508 < 510.
+    let mut j = 255;
+    while j < 510 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (exp, log)
+}
+
+/// Field addition (and subtraction): XOR.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse.  Panics on zero, which has no inverse.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Field division `a / b`.  Panics when `b` is zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + 255 - LOG[b as usize] as usize]
+    }
+}
+
+/// Exponentiation `a^e` (with the convention `0⁰ = 1`).
+#[inline]
+pub fn pow(a: u8, e: usize) -> u8 {
+    if e == 0 {
+        1
+    } else if a == 0 {
+        0
+    } else {
+        EXP[(LOG[a as usize] as usize * e) % 255]
+    }
+}
+
+/// The 256-entry product row of a constant coefficient: `row[x] = c·x`.
+#[inline]
+fn mul_row(c: u8) -> [u8; 256] {
+    debug_assert!(c > 1, "rows for 0 and 1 are handled by the fast paths");
+    let lc = LOG[c as usize] as usize;
+    let mut row = [0u8; 256];
+    let mut x = 1usize;
+    while x < 256 {
+        row[x] = EXP[lc + LOG[x] as usize];
+        x += 1;
+    }
+    row
+}
+
+/// Slice kernel `dst[i] = c · src[i]`.  Both slices must have equal length.
+pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => {
+            let row = mul_row(c);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = row[s as usize];
+            }
+        }
+    }
+}
+
+/// Slice kernel `dst[i] ^= c · src[i]` — the Reed–Solomon encode/decode hot
+/// loop.  Both slices must have equal length.
+pub fn mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    match c {
+        0 => {}
+        1 => xor_into(dst, src),
+        _ => {
+            let row = mul_row(c);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d ^= row[s as usize];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent() {
+        // g^log(a) = a for every non-zero a, and logs are a permutation.
+        let mut seen = [false; 255];
+        for a in 1..=255u8 {
+            assert_eq!(EXP[LOG[a as usize] as usize], a);
+            assert!(!seen[LOG[a as usize] as usize]);
+            seen[LOG[a as usize] as usize] = true;
+        }
+        // The doubled half mirrors the first.
+        for i in 0..255 {
+            assert_eq!(EXP[i], EXP[i + 255]);
+        }
+    }
+
+    #[test]
+    fn multiplication_axioms() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(a, 1), a);
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul(b, a));
+                // Distributivity over a fixed third element.
+                assert_eq!(mul(a, add(b, 7)), add(mul(a, b), mul(a, 7)));
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_is_associative_on_samples() {
+        for a in [1u8, 2, 3, 29, 76, 142, 255] {
+            for b in [1u8, 5, 53, 200, 254] {
+                for c in [2u8, 99, 187] {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_and_division() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1);
+            assert_eq!(div(a, a), 1);
+            assert_eq!(div(0, a), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_has_no_inverse() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in [0u8, 1, 2, 3, 97, 255] {
+            let mut acc = 1u8;
+            for e in 0..20 {
+                assert_eq!(pow(a, e), acc, "a = {a}, e = {e}");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1);
+    }
+
+    #[test]
+    fn slice_kernels_match_scalar_ops() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 77, 255] {
+            let mut product = vec![0xAA; src.len()];
+            mul_slice(c, &src, &mut product);
+            let mut accum = src.clone();
+            mul_add_slice(c, &src, &mut accum);
+            for (i, &s) in src.iter().enumerate() {
+                assert_eq!(product[i], mul(c, s));
+                assert_eq!(accum[i], add(s, mul(c, s)));
+            }
+        }
+    }
+}

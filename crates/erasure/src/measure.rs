@@ -5,6 +5,12 @@
 //! overhead of each relative to NULL.  [`measure_code`] performs those
 //! measurements for any [`ErasureCode`]; [`CodeCost`] carries the results and the
 //! derived overheads.
+//!
+//! Beyond the paper's columns, every run also decodes from an *exactly
+//! minimal* subset — a random [`ErasureCode::min_decode_blocks`]-sized sample
+//! of the encoded blocks — which separates optimal codecs (Reed–Solomon:
+//! always succeeds) from sub-optimal ones (online: succeeds only with high
+//! probability at its `(1 + ε)·n'` bound).
 
 use crate::code::ErasureCode;
 use peerstripe_sim::{ByteSize, DetRng, OnlineStats};
@@ -13,7 +19,7 @@ use std::time::Instant;
 /// Measured cost of one erasure code on a fixed-size chunk.
 #[derive(Debug, Clone)]
 pub struct CodeCost {
-    /// Codec name ("Null", "XOR", "Online").
+    /// Codec name ("Null", "XOR", "Online", "ReedSolomon").
     pub name: &'static str,
     /// Size of the input chunk.
     pub chunk_size: ByteSize,
@@ -27,6 +33,15 @@ pub struct CodeCost {
     pub encode_ms_sd: f64,
     /// Standard deviation of decoding time across runs.
     pub decode_ms_sd: f64,
+    /// Mean wall-clock time in milliseconds of decoding from a random subset
+    /// of exactly [`ErasureCode::min_decode_blocks`] blocks (success or not).
+    pub decode_min_ms: f64,
+    /// Standard deviation of the minimal-subset decoding time across runs.
+    pub decode_min_ms_sd: f64,
+    /// Minimal-subset decode attempts (one per run).
+    pub min_subset_attempts: usize,
+    /// Minimal-subset decode attempts that recovered the chunk.
+    pub min_subset_successes: usize,
 }
 
 impl CodeCost {
@@ -48,6 +63,17 @@ impl CodeCost {
             100.0 * (self.encode_ms / baseline.encode_ms - 1.0)
         }
     }
+
+    /// Fraction of minimal-subset decode attempts that recovered the chunk, as
+    /// a percentage.  100 % characterises an optimal code; the online code's
+    /// `(1 + ε)·n'` bound only holds with high probability.
+    pub fn min_subset_recovery_pct(&self) -> f64 {
+        if self.min_subset_attempts == 0 {
+            0.0
+        } else {
+            100.0 * self.min_subset_successes as f64 / self.min_subset_attempts as f64
+        }
+    }
 }
 
 /// Measure encode/decode cost of `code` on a random chunk of `chunk_size`,
@@ -66,7 +92,10 @@ pub fn measure_code(
 
     let mut encode_stats = OnlineStats::new();
     let mut decode_stats = OnlineStats::new();
+    let mut decode_min_stats = OnlineStats::new();
     let mut encoded_size = ByteSize::ZERO;
+    let mut min_subset_attempts = 0usize;
+    let mut min_subset_successes = 0usize;
     for _ in 0..runs {
         let start = Instant::now();
         let blocks = code.encode(&chunk);
@@ -79,6 +108,22 @@ pub fn measure_code(
             .expect("decoding from the full block set must succeed");
         decode_stats.push(start.elapsed().as_secs_f64() * 1e3);
         assert_eq!(decoded.len(), chunk.len());
+
+        // Decode again from a random subset of exactly min_decode_blocks
+        // blocks.  The subset is drawn (and cloned) outside the timed region.
+        let min = code.min_decode_blocks().min(blocks.len());
+        let subset: Vec<_> = rng
+            .sample_indices(blocks.len(), min)
+            .into_iter()
+            .map(|i| blocks[i].clone())
+            .collect();
+        let start = Instant::now();
+        let outcome = code.decode(&subset, chunk.len());
+        decode_min_stats.push(start.elapsed().as_secs_f64() * 1e3);
+        min_subset_attempts += 1;
+        if outcome.map(|d| d == chunk).unwrap_or(false) {
+            min_subset_successes += 1;
+        }
     }
 
     CodeCost {
@@ -89,6 +134,10 @@ pub fn measure_code(
         decode_ms: decode_stats.mean(),
         encode_ms_sd: encode_stats.sample_std_dev(),
         decode_ms_sd: decode_stats.sample_std_dev(),
+        decode_min_ms: decode_min_stats.mean(),
+        decode_min_ms_sd: decode_min_stats.sample_std_dev(),
+        min_subset_attempts,
+        min_subset_successes,
     }
 }
 
@@ -131,5 +180,34 @@ mod tests {
         // Only sanity: the helper computes a finite percentage.
         let pct = xor.time_overhead_pct(&base);
         assert!(pct.is_finite());
+    }
+
+    #[test]
+    fn minimal_subset_decode_always_succeeds_for_optimal_codes() {
+        use crate::rs::ReedSolomonCode;
+        for cost in [
+            measure_code(&NullCode::new(32), ByteSize::kb(32), 3, 5),
+            measure_code(&XorCode::new(2, 32), ByteSize::kb(32), 3, 5),
+            measure_code(&ReedSolomonCode::new(24, 8), ByteSize::kb(32), 3, 5),
+        ] {
+            assert_eq!(cost.min_subset_attempts, 3, "{}", cost.name);
+            assert_eq!(
+                cost.min_subset_recovery_pct(),
+                100.0,
+                "{} must decode from any minimal subset",
+                cost.name
+            );
+            assert!(cost.decode_min_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn minimal_subset_rate_is_tracked_for_online() {
+        let code = OnlineCode::with_overhead(128, 0.01, 3, 1.25);
+        let cost = measure_code(&code, ByteSize::kb(32), 4, 6);
+        assert_eq!(cost.min_subset_attempts, 4);
+        assert!(cost.min_subset_successes <= 4);
+        let pct = cost.min_subset_recovery_pct();
+        assert!((0.0..=100.0).contains(&pct));
     }
 }

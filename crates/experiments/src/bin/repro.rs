@@ -6,20 +6,17 @@
 //! experiments:
 //!   fig7 fig8 fig9 table1   file-insertion comparison (PAST vs CFS vs PeerStripe)
 //!   fig10                   availability under node failures (coding policies)
-//!   table2                  erasure-code cost (Null / XOR / Online)
+//!   table2                  erasure-code cost (Null / XOR / Online / Reed-Solomon)
+//!   rs-sweep                Reed-Solomon (n, m) sweep: throughput + minimal-subset recovery
 //!   table3                  data lost & regenerated under 10% / 20% churn
 //!   fig11 fig12             Bullet/RanSub replica dissemination
 //!   table4                  Condor bigCopy case study
 //!   all                     everything above
 //! ```
 
-use peerstripe_experiments::availability::{run_availability, run_regeneration, ChurnConfig};
-use peerstripe_experiments::coding::{run_table2, CodingConfig};
-use peerstripe_experiments::condor::{run_table4, CondorConfig};
-use peerstripe_experiments::multicast_fig::{run_ransub_sweep, run_spread, MulticastConfig};
-use peerstripe_experiments::report;
-use peerstripe_experiments::storesim::{run_store_comparison, StoreSimConfig};
+use peerstripe_experiments::cli::run_experiment_with;
 use peerstripe_experiments::Scale;
+use std::io::Write as _;
 
 struct Args {
     experiment: String,
@@ -58,9 +55,10 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: repro <fig7|fig8|fig9|fig10|fig11|fig12|table1|table2|table3|table4|all> \
-     [--scale small|medium|paper] [--seed N]"
-        .to_string()
+    format!(
+        "usage: repro <{}|all> [--scale small|medium|paper] [--seed N]",
+        peerstripe_experiments::cli::EXPERIMENTS.join("|")
+    )
 }
 
 fn main() {
@@ -75,53 +73,14 @@ fn main() {
         "# PeerStripe reproduction — experiment '{}' at scale '{}' (seed {})\n",
         args.experiment, args.scale, args.seed
     );
-    let exp = args.experiment.as_str();
-    let mut matched = false;
-
-    if matches!(exp, "fig7" | "fig8" | "fig9" | "table1" | "all") {
-        matched = true;
-        let cmp = run_store_comparison(&StoreSimConfig::at_scale(args.scale, args.seed));
-        match exp {
-            "fig7" => println!("{}", report::render_figure(&cmp.figure7())),
-            "fig8" => println!("{}", report::render_figure(&cmp.figure8())),
-            "fig9" => println!("{}", report::render_figure(&cmp.figure9())),
-            "table1" => println!("{}", report::render_table1(&cmp)),
-            _ => println!("{}", report::render_store_comparison(&cmp)),
-        }
-    }
-    if matches!(exp, "fig10" | "all") {
-        matched = true;
-        let result = run_availability(&ChurnConfig::at_scale(args.scale, args.seed));
-        println!("{}", report::render_figure10(&result));
-    }
-    if matches!(exp, "table2" | "all") {
-        matched = true;
-        let t2 = run_table2(&CodingConfig::at_scale(args.scale, args.seed));
-        println!("{}", report::render_table2(&t2));
-    }
-    if matches!(exp, "table3" | "all") {
-        matched = true;
-        let rows = run_regeneration(&ChurnConfig::at_scale(args.scale, args.seed));
-        println!("{}", report::render_table3(&rows));
-    }
-    if matches!(exp, "fig11" | "all") {
-        matched = true;
-        let sweep = run_ransub_sweep(&MulticastConfig::at_scale(args.scale, args.seed));
-        println!("{}", report::render_figure11(&sweep));
-    }
-    if matches!(exp, "fig12" | "all") {
-        matched = true;
-        let spread = run_spread(&MulticastConfig::at_scale(args.scale, args.seed));
-        println!("{}", report::render_figure12(&spread));
-    }
-    if matches!(exp, "table4" | "all") {
-        matched = true;
-        let rows = run_table4(&CondorConfig::at_scale(args.scale, args.seed));
-        println!("{}", report::render_table4(&rows));
-    }
-
-    if !matched {
-        eprintln!("unknown experiment '{exp}'\n{}", usage());
+    // Stream each section as its experiment finishes (an `all --scale paper`
+    // run takes hours; buffering would hide every result until the end).
+    let mut emit = |section: &str| {
+        print!("{section}");
+        let _ = std::io::stdout().flush();
+    };
+    if !run_experiment_with(&args.experiment, args.scale, args.seed, &mut emit) {
+        eprintln!("unknown experiment '{}'\n{}", args.experiment, usage());
         std::process::exit(2);
     }
 }

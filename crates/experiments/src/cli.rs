@@ -1,0 +1,107 @@
+//! The `repro` sub-command dispatcher, shared between the binary and the
+//! integration tests so the exact code path the CLI runs stays testable.
+
+use crate::availability::{run_availability, run_regeneration, ChurnConfig};
+use crate::coding::{run_rs_sweep, run_table2, CodingConfig, RsSweepConfig};
+use crate::condor::{run_table4, CondorConfig};
+use crate::multicast_fig::{run_ransub_sweep, run_spread, MulticastConfig};
+use crate::report;
+use crate::scale::Scale;
+use crate::storesim::{run_store_comparison, StoreSimConfig};
+
+/// Every experiment name `repro` understands, in `all` execution order.
+pub const EXPERIMENTS: &[&str] = &[
+    "fig7", "fig8", "fig9", "table1", "fig10", "table2", "rs-sweep", "table3", "fig11", "fig12",
+    "table4",
+];
+
+/// Run the named experiment (or `all`), handing each finished section to
+/// `emit` as soon as it is ready — so an hours-long `all --scale paper` run
+/// streams its reports incrementally instead of buffering them to the end.
+/// Returns whether the name matched any experiment.
+pub fn run_experiment_with(exp: &str, scale: Scale, seed: u64, emit: &mut dyn FnMut(&str)) -> bool {
+    let mut matched = false;
+
+    if matches!(exp, "fig7" | "fig8" | "fig9" | "table1" | "all") {
+        matched = true;
+        let cmp = run_store_comparison(&StoreSimConfig::at_scale(scale, seed));
+        let section = match exp {
+            "fig7" => report::render_figure(&cmp.figure7()),
+            "fig8" => report::render_figure(&cmp.figure8()),
+            "fig9" => report::render_figure(&cmp.figure9()),
+            "table1" => report::render_table1(&cmp),
+            _ => report::render_store_comparison(&cmp),
+        };
+        emit(&section);
+        emit("\n");
+    }
+    if matches!(exp, "fig10" | "all") {
+        matched = true;
+        let result = run_availability(&ChurnConfig::at_scale(scale, seed));
+        emit(&report::render_figure10(&result));
+        emit("\n");
+    }
+    if matches!(exp, "table2" | "all") {
+        matched = true;
+        let t2 = run_table2(&CodingConfig::at_scale(scale, seed));
+        emit(&report::render_table2(&t2));
+        emit("\n");
+    }
+    if matches!(exp, "rs-sweep" | "all") {
+        matched = true;
+        let sweep = run_rs_sweep(&RsSweepConfig::at_scale(scale, seed));
+        emit(&report::render_rs_sweep(&sweep));
+        emit("\n");
+    }
+    if matches!(exp, "table3" | "all") {
+        matched = true;
+        let rows = run_regeneration(&ChurnConfig::at_scale(scale, seed));
+        emit(&report::render_table3(&rows));
+        emit("\n");
+    }
+    if matches!(exp, "fig11" | "all") {
+        matched = true;
+        let sweep = run_ransub_sweep(&MulticastConfig::at_scale(scale, seed));
+        emit(&report::render_figure11(&sweep));
+        emit("\n");
+    }
+    if matches!(exp, "fig12" | "all") {
+        matched = true;
+        let spread = run_spread(&MulticastConfig::at_scale(scale, seed));
+        emit(&report::render_figure12(&spread));
+        emit("\n");
+    }
+    if matches!(exp, "table4" | "all") {
+        matched = true;
+        let rows = run_table4(&CondorConfig::at_scale(scale, seed));
+        emit(&report::render_table4(&rows));
+        emit("\n");
+    }
+
+    matched
+}
+
+/// Run the named experiment (or `all`) and return its full rendered report,
+/// or `None` when the name is unknown.  Buffered convenience wrapper around
+/// [`run_experiment_with`] for tests and library callers.
+pub fn run_experiment(exp: &str, scale: Scale, seed: u64) -> Option<String> {
+    let mut out = String::new();
+    run_experiment_with(exp, scale, seed, &mut |s| out.push_str(s)).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_rejected() {
+        assert!(run_experiment("bogus", Scale::Small, 1).is_none());
+    }
+
+    #[test]
+    fn rs_sweep_is_a_known_experiment() {
+        assert!(EXPERIMENTS.contains(&"rs-sweep"));
+        let out = run_experiment("rs-sweep", Scale::Small, 1).unwrap();
+        assert!(out.contains("ReedSolomon"));
+    }
+}

@@ -1,13 +1,24 @@
-//! Erasure-code cost measurements: Table 2.
+//! Erasure-code cost measurements: Table 2 and the Reed–Solomon sweep.
 //!
 //! Table 2 stores a 4 MB chunk (4 096 blocks) under the NULL, XOR, and online
 //! codes and reports the encoded size and the encoding time, each with its
 //! overhead relative to NULL.  [`run_table2`] performs the same measurement with
-//! the real codecs from `peerstripe-erasure`.
+//! the real codecs from `peerstripe-erasure`, and adds the *optimal* GF(256)
+//! Reed–Solomon code the paper's Section 4.2 trade-off discussion compares the
+//! online code against, plus a decode-from-minimal-subset column that
+//! separates optimal from sub-optimal codecs.
+//!
+//! [`run_rs_sweep`] sweeps Reed–Solomon (data, parity) geometries over chunk
+//! sizes and reports serial/parallel encode throughput, minimal-subset decode
+//! throughput, and minimal-subset recovery rates (always 100 % — the
+//! optimality property the sub-optimal codecs cannot offer).
 
 use crate::scale::Scale;
-use peerstripe_erasure::{measure_code, CodeCost, ErasureCode, NullCode, OnlineCode, XorCode};
-use peerstripe_sim::ByteSize;
+use peerstripe_erasure::{
+    measure_code, CodeCost, ErasureCode, NullCode, OnlineCode, ReedSolomonCode, XorCode,
+};
+use peerstripe_sim::{ByteSize, DetRng};
+use std::time::Instant;
 
 /// One row of Table 2.
 #[derive(Debug, Clone)]
@@ -24,6 +35,11 @@ pub struct Table2Row {
     pub encode_overhead_pct: f64,
     /// Mean decoding time, milliseconds.
     pub decode_ms: f64,
+    /// Mean decoding time from an exactly minimal block subset, milliseconds.
+    pub decode_min_ms: f64,
+    /// Share of minimal-subset decode attempts that recovered the chunk,
+    /// percent (100 for optimal codes, probabilistic for the online code).
+    pub min_recovery_pct: f64,
 }
 
 /// Result of the Table 2 measurement.
@@ -31,9 +47,15 @@ pub struct Table2Row {
 pub struct Table2 {
     /// Chunk size measured.
     pub chunk_size: ByteSize,
-    /// Number of source blocks per chunk.
+    /// Number of source blocks per chunk (Null, XOR and online rows).
     pub blocks: usize,
-    /// Rows in `[Null, XOR, Online]` order.
+    /// Data blocks of the ReedSolomon row — GF(256) caps the code at 256
+    /// blocks total, so it cannot run at the paper's 4096-block geometry and
+    /// its row is measured at [`table2_rs_code`]'s (data, parity) instead.
+    pub rs_data: usize,
+    /// Parity blocks of the ReedSolomon row.
+    pub rs_parity: usize,
+    /// Rows in `[Null, XOR, Online, ReedSolomon]` order.
     pub rows: Vec<Table2Row>,
 }
 
@@ -63,6 +85,16 @@ impl CodingConfig {
     }
 }
 
+/// The Reed–Solomon configuration measured against the paper's codecs in
+/// Table 2: as many data blocks as GF(256) allows (223, the classic RS(255)
+/// data width) up to the configured block count, with ~3 % parity to match
+/// the online code's storage overhead.
+pub fn table2_rs_code(blocks: usize) -> ReedSolomonCode {
+    let data = blocks.min(223);
+    let parity = (data * 3).div_ceil(100).max(2);
+    ReedSolomonCode::new(data, parity)
+}
+
 /// Run the Table 2 measurement.
 pub fn run_table2(config: &CodingConfig) -> Table2 {
     let null = NullCode::new(config.blocks);
@@ -73,8 +105,9 @@ pub fn run_table2(config: &CodingConfig) -> Table2 {
     // margin, hence the 8-block cushion.
     let overhead = 1.03 + 8.0 / config.blocks as f64;
     let online = OnlineCode::with_overhead(config.blocks, 0.01, 3, overhead);
+    let rs = table2_rs_code(config.blocks);
 
-    let codes: Vec<&dyn ErasureCode> = vec![&null, &xor, &online];
+    let codes: Vec<&dyn ErasureCode> = vec![&null, &xor, &online, &rs];
     let costs: Vec<CodeCost> = codes
         .iter()
         .map(|c| measure_code(*c, config.chunk_size, config.runs, config.seed))
@@ -94,14 +127,148 @@ pub fn run_table2(config: &CodingConfig) -> Table2 {
                 0.0
             },
             decode_ms: c.decode_ms,
+            decode_min_ms: c.decode_min_ms,
+            min_recovery_pct: c.min_subset_recovery_pct(),
         })
         .collect();
 
     Table2 {
         chunk_size: config.chunk_size,
         blocks: config.blocks,
+        rs_data: rs.data(),
+        rs_parity: rs.parity(),
         rows,
     }
+}
+
+/// One measured (data, parity) × chunk-size point of the Reed–Solomon sweep.
+#[derive(Debug, Clone)]
+pub struct RsSweepRow {
+    /// Number of data blocks.
+    pub data: usize,
+    /// Number of parity blocks.
+    pub parity: usize,
+    /// Chunk size encoded.
+    pub chunk_size: ByteSize,
+    /// Serial encode throughput, MB/s of source data.
+    pub encode_mb_s: f64,
+    /// Parallel encode throughput, MB/s of source data.
+    pub parallel_encode_mb_s: f64,
+    /// Decode throughput from exactly-minimal random subsets, MB/s.
+    pub decode_mb_s: f64,
+    /// Share of minimal-subset decodes that recovered the chunk, percent.
+    pub recovery_pct: f64,
+}
+
+/// Result of the Reed–Solomon sweep.
+#[derive(Debug, Clone)]
+pub struct RsSweep {
+    /// One row per (geometry, chunk size) pair.
+    pub rows: Vec<RsSweepRow>,
+}
+
+/// Configuration of the Reed–Solomon sweep.
+#[derive(Debug, Clone)]
+pub struct RsSweepConfig {
+    /// (data, parity) geometries to measure.
+    pub geometries: Vec<(usize, usize)>,
+    /// Chunk sizes to encode under each geometry.
+    pub chunk_sizes: Vec<ByteSize>,
+    /// Timing repetitions per point.
+    pub runs: usize,
+    /// Random exactly-minimal subsets decoded per point.
+    pub subset_trials: usize,
+    /// Random seed for chunk contents and subset choices.
+    pub seed: u64,
+}
+
+impl RsSweepConfig {
+    /// Sweep parameters for a given scale.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let (geometries, chunk_sizes, runs, subset_trials) = match scale {
+            Scale::Small => (
+                vec![(4, 2), (8, 4), (16, 8)],
+                vec![ByteSize::kb(64), ByteSize::kb(256)],
+                1,
+                4,
+            ),
+            Scale::Medium => (
+                vec![(4, 2), (16, 8), (32, 16), (64, 32)],
+                vec![ByteSize::mb(1), ByteSize::mb(2)],
+                3,
+                8,
+            ),
+            Scale::Paper => (
+                vec![(4, 2), (16, 8), (32, 16), (64, 32), (128, 64), (223, 32)],
+                vec![ByteSize::mb(1), ByteSize::mb(4)],
+                5,
+                16,
+            ),
+        };
+        RsSweepConfig {
+            geometries,
+            chunk_sizes,
+            runs,
+            subset_trials,
+            seed,
+        }
+    }
+}
+
+/// Run the Reed–Solomon (data, parity) sweep.
+pub fn run_rs_sweep(config: &RsSweepConfig) -> RsSweep {
+    let mut rng = DetRng::new(config.seed);
+    let mut rows = Vec::new();
+    for &(data, parity) in &config.geometries {
+        let code = ReedSolomonCode::new(data, parity);
+        for &chunk_size in &config.chunk_sizes {
+            let chunk: Vec<u8> = (0..chunk_size.as_u64())
+                .map(|_| rng.next_u32() as u8)
+                .collect();
+            let mb = chunk.len() as f64 / (1 << 20) as f64;
+
+            let mut serial_s = f64::INFINITY;
+            let mut parallel_s = f64::INFINITY;
+            let mut blocks = Vec::new();
+            for _ in 0..config.runs.max(1) {
+                let start = Instant::now();
+                blocks = code.encode_serial(&chunk);
+                serial_s = serial_s.min(start.elapsed().as_secs_f64());
+                let start = Instant::now();
+                let par = code.parallel_encode(&chunk);
+                parallel_s = parallel_s.min(start.elapsed().as_secs_f64());
+                debug_assert_eq!(par, blocks);
+            }
+
+            let mut recovered = 0usize;
+            let mut decode_s_total = 0.0;
+            for _ in 0..config.subset_trials.max(1) {
+                let subset: Vec<_> = rng
+                    .sample_indices(blocks.len(), code.min_decode_blocks())
+                    .into_iter()
+                    .map(|i| blocks[i].clone())
+                    .collect();
+                let start = Instant::now();
+                let outcome = code.decode(&subset, chunk.len());
+                decode_s_total += start.elapsed().as_secs_f64();
+                if outcome.map(|d| d == chunk).unwrap_or(false) {
+                    recovered += 1;
+                }
+            }
+            let decode_s = decode_s_total / config.subset_trials.max(1) as f64;
+
+            rows.push(RsSweepRow {
+                data,
+                parity,
+                chunk_size,
+                encode_mb_s: mb / serial_s.max(1e-9),
+                parallel_encode_mb_s: mb / parallel_s.max(1e-9),
+                decode_mb_s: mb / decode_s.max(1e-9),
+                recovery_pct: 100.0 * recovered as f64 / config.subset_trials.max(1) as f64,
+            });
+        }
+    }
+    RsSweep { rows }
 }
 
 #[cfg(test)]
@@ -120,23 +287,31 @@ mod tests {
     #[test]
     fn table2_shape_matches_paper() {
         let t = small();
-        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows.len(), 4);
         let null = &t.rows[0];
         let xor = &t.rows[1];
         let online = &t.rows[2];
+        let rs = &t.rows[3];
         assert_eq!(null.code, "Null");
         assert_eq!(xor.code, "XOR");
         assert_eq!(online.code, "Online");
-        // Size overheads: NULL ~0%, XOR ~50%, online a few percent.
+        assert_eq!(rs.code, "ReedSolomon");
+        // Size overheads: NULL ~0%, XOR ~50%, online and RS a few percent.
         assert!(null.size_overhead_pct.abs() < 1.0);
         assert!((xor.size_overhead_pct - 50.0).abs() < 2.0);
         assert!(online.size_overhead_pct > 1.0 && online.size_overhead_pct < 15.0);
+        assert!(rs.size_overhead_pct > 1.0 && rs.size_overhead_pct < 15.0);
         // Time overheads: both codes cost more than NULL, online more than XOR.
         assert!(xor.encode_overhead_pct > 0.0);
         assert!(online.encode_overhead_pct > xor.encode_overhead_pct);
         assert!(online.decode_ms >= xor.decode_ms);
         // NULL's own overhead relative to itself is zero.
         assert_eq!(null.encode_overhead_pct, 0.0);
+        // Optimal codecs recover from any minimal subset, with certainty.
+        assert_eq!(null.min_recovery_pct, 100.0);
+        assert_eq!(xor.min_recovery_pct, 100.0);
+        assert_eq!(rs.min_recovery_pct, 100.0);
+        assert!(online.min_recovery_pct <= 100.0);
     }
 
     #[test]
@@ -145,6 +320,46 @@ mod tests {
         for row in &t.rows {
             assert!(row.encoded_size >= ByteSize::kb(250));
             assert!(row.encoded_size <= ByteSize::kb(420));
+        }
+    }
+
+    #[test]
+    fn table2_rs_geometry_respects_field_cap() {
+        for blocks in [16, 256, 512, 4096] {
+            let rs = table2_rs_code(blocks);
+            assert!(rs.data() + rs.parity() <= 256, "blocks = {blocks}");
+            assert_eq!(rs.data(), blocks.min(223));
+            let overhead = rs.parity() as f64 / rs.data() as f64;
+            assert!(overhead < 0.16, "blocks = {blocks}: {overhead}");
+        }
+    }
+
+    #[test]
+    fn rs_sweep_reports_full_recovery() {
+        let sweep = run_rs_sweep(&RsSweepConfig {
+            geometries: vec![(4, 2), (8, 4)],
+            chunk_sizes: vec![ByteSize::kb(64)],
+            runs: 1,
+            subset_trials: 3,
+            seed: 11,
+        });
+        assert_eq!(sweep.rows.len(), 2);
+        for row in &sweep.rows {
+            assert_eq!(row.recovery_pct, 100.0, "RS({},{})", row.data, row.parity);
+            assert!(row.encode_mb_s > 0.0);
+            assert!(row.parallel_encode_mb_s > 0.0);
+            assert!(row.decode_mb_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn rs_sweep_scale_configs_are_valid_geometries() {
+        for scale in [Scale::Small, Scale::Medium, Scale::Paper] {
+            let config = RsSweepConfig::at_scale(scale, 1);
+            for (data, parity) in config.geometries {
+                assert!(data + parity <= 256, "{scale}: ({data},{parity})");
+            }
+            assert!(!config.chunk_sizes.is_empty());
         }
     }
 }

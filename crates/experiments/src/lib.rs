@@ -9,6 +9,7 @@
 //! | Table 1 (chunk statistics)     | [`storesim::StoreComparison::table1`] | `table1` |
 //! | Figure 10 (availability)       | [`availability::run_availability`] | `fig10` |
 //! | Table 2 (erasure-code cost)    | [`coding::run_table2`] | `table2` |
+//! | RS (n, m) sweep (optimal code) | [`coding::run_rs_sweep`] | `rs-sweep` |
 //! | Table 3 (churn regeneration)   | [`availability::run_regeneration`] | `table3` |
 //! | Figure 11 (RanSub sweep)       | [`multicast_fig::run_ransub_sweep`] | `fig11` |
 //! | Figure 12 (packet spread)      | [`multicast_fig::run_spread`] | `fig12` |
@@ -22,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod availability;
+pub mod cli;
 pub mod coding;
 pub mod condor;
 pub mod multicast_fig;

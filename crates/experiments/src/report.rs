@@ -3,7 +3,7 @@
 //! The `repro` binary prints these renderings; EXPERIMENTS.md embeds them.
 
 use crate::availability::{AvailabilityResult, Table3Row};
-use crate::coding::Table2;
+use crate::coding::{RsSweep, Table2};
 use crate::multicast_fig::{RanSubSweep, SpreadResult};
 use crate::storesim::StoreComparison;
 use peerstripe_gridsim::Table4Row;
@@ -76,8 +76,12 @@ pub fn render_table1(cmp: &StoreComparison) -> String {
 pub fn render_table2(t2: &Table2) -> String {
     let mut t = TableBuilder::new(
         format!(
-            "Table 2: encoding cost for a {} chunk ({} blocks)",
-            t2.chunk_size, t2.blocks
+            "Table 2: encoding cost for a {} chunk ({} blocks; ReedSolomon row at its \
+             GF(256) cap, RS({}, {}))",
+            t2.chunk_size,
+            t2.blocks,
+            t2.rs_data,
+            t2.rs_data + t2.rs_parity
         ),
         &[
             "Erasure code",
@@ -86,6 +90,8 @@ pub fn render_table2(t2: &Table2) -> String {
             "Encode (ms)",
             "Encode ovrhd.",
             "Decode (ms)",
+            "Min-decode (ms)",
+            "Min-subset ok",
         ],
     );
     for row in &t2.rows {
@@ -96,6 +102,34 @@ pub fn render_table2(t2: &Table2) -> String {
             format!("{:.1}", row.encode_ms),
             format!("{:.0}%", row.encode_overhead_pct),
             format!("{:.1}", row.decode_ms),
+            format!("{:.1}", row.decode_min_ms),
+            format!("{:.0}%", row.min_recovery_pct),
+        ]);
+    }
+    t.render()
+}
+
+/// Render the Reed–Solomon (data, parity) sweep.
+pub fn render_rs_sweep(sweep: &RsSweep) -> String {
+    let mut t = TableBuilder::new(
+        "ReedSolomon sweep: encode/decode throughput and minimal-subset recovery",
+        &[
+            "RS(n, m)",
+            "Chunk",
+            "Encode (MB/s)",
+            "Par. encode (MB/s)",
+            "Min-decode (MB/s)",
+            "Recovery",
+        ],
+    );
+    for row in &sweep.rows {
+        t.row(&[
+            format!("RS({}, {})", row.data, row.data + row.parity),
+            format!("{}", row.chunk_size),
+            format!("{:.0}", row.encode_mb_s),
+            format!("{:.0}", row.parallel_encode_mb_s),
+            format!("{:.0}", row.decode_mb_s),
+            format!("{:.0}%", row.recovery_pct),
         ]);
     }
     t.render()
@@ -213,7 +247,26 @@ mod tests {
         assert!(text.contains("Null"));
         assert!(text.contains("XOR"));
         assert!(text.contains("Online"));
+        assert!(text.contains("ReedSolomon"));
         assert!(text.contains("Table 2"));
+        assert!(text.contains("Min-decode"));
+    }
+
+    #[test]
+    fn rs_sweep_rendering_lists_every_geometry() {
+        use crate::coding::{run_rs_sweep, RsSweepConfig};
+        let sweep = run_rs_sweep(&RsSweepConfig {
+            geometries: vec![(4, 2), (8, 4)],
+            chunk_sizes: vec![ByteSize::kb(64)],
+            runs: 1,
+            subset_trials: 2,
+            seed: 2,
+        });
+        let text = render_rs_sweep(&sweep);
+        assert!(text.contains("ReedSolomon"));
+        assert!(text.contains("RS(4, 6)"));
+        assert!(text.contains("RS(8, 12)"));
+        assert!(text.contains("100%"));
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! other examples compiling; this exercises the quickstart *logic*.)
 
 use peerstripe::core::{ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem};
+use peerstripe::experiments::cli::run_experiment;
+use peerstripe::experiments::Scale;
 use peerstripe::sim::{ByteSize, DetRng};
 use peerstripe::trace::{CapacityModel, FileRecord};
 
@@ -68,5 +70,32 @@ fn quickstart_store_retrieve_on_small_cluster() {
     assert!(
         chunks > 1,
         "a 2 GB file must stripe over multiple chunks, got {chunks}"
+    );
+}
+
+/// The `repro` erasure-coding drivers keep producing their reports: `table2`
+/// must carry all four codec rows (including the optimal Reed-Solomon row)
+/// and `rs-sweep` must report full minimal-subset recovery.  Exercises the
+/// same dispatch the `repro` binary runs.
+#[test]
+fn repro_table2_and_rs_sweep_at_small_scale() {
+    let table2 = run_experiment("table2", Scale::Small, 42).expect("table2 is a known experiment");
+    for code in ["Null", "XOR", "Online", "ReedSolomon"] {
+        assert!(
+            table2.contains(code),
+            "Table 2 lost its {code} row:\n{table2}"
+        );
+    }
+    assert!(
+        table2.contains("Min-decode"),
+        "minimal-subset column missing"
+    );
+
+    let sweep =
+        run_experiment("rs-sweep", Scale::Small, 42).expect("rs-sweep is a known experiment");
+    assert!(sweep.contains("ReedSolomon"), "sweep report:\n{sweep}");
+    assert!(
+        sweep.contains("100%"),
+        "RS must recover from every minimal subset:\n{sweep}"
     );
 }

@@ -5,7 +5,7 @@ use peerstripe::core::{
     ChunkAllocationTable, ClusterConfig, CodingPolicy, ObjectName, PeerStripe, PeerStripeConfig,
     StorageSystem,
 };
-use peerstripe::erasure::{ErasureCode, NullCode, OnlineCode, XorCode};
+use peerstripe::erasure::{ErasureCode, NullCode, OnlineCode, ReedSolomonCode, XorCode};
 use peerstripe::overlay::{Id, IdRing};
 use peerstripe::sim::{ByteSize, DetRng, OnlineStats};
 use peerstripe::trace::{CapacityModel, FileRecord};
@@ -62,6 +62,57 @@ proptest! {
         let code = OnlineCode::with_overhead(128, 0.01, 3, 1.15);
         let encoded = code.encode(&data);
         prop_assert_eq!(code.decode(&encoded, data.len()).unwrap(), data);
+    }
+
+    /// Every codec encode/decode round-trips from the full block set at
+    /// arbitrary chunk sizes, including lengths that are not a multiple of the
+    /// source-block count (exercising the zero-padding path).
+    #[test]
+    fn every_codec_round_trips_at_arbitrary_sizes(
+        data in proptest::collection::vec(any::<u8>(), 1..6000),
+        pick in 0usize..4,
+    ) {
+        let codecs: [Box<dyn ErasureCode>; 4] = [
+            Box::new(NullCode::new(7)),
+            Box::new(XorCode::new(2, 8)),
+            Box::new(OnlineCode::with_overhead(64, 0.01, 3, 1.25)),
+            Box::new(ReedSolomonCode::new(11, 4)),
+        ];
+        let code = &codecs[pick];
+        let encoded = code.encode(&data);
+        prop_assert_eq!(encoded.len(), code.encoded_blocks());
+        prop_assert_eq!(code.decode(&encoded, data.len()).unwrap(), data);
+    }
+
+    /// Reed-Solomon optimality, exhaustively: for arbitrary data and geometry,
+    /// *every* subset of exactly `min_decode_blocks()` = `data` blocks decodes
+    /// the original chunk — the any-n-of-m guarantee no sub-optimal codec in
+    /// this workspace can make.
+    #[test]
+    fn rs_recovers_from_every_minimal_subset(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        n in 2usize..6,
+        parity in 1usize..4,
+    ) {
+        let code = ReedSolomonCode::new(n, parity);
+        let encoded = code.encode(&data);
+        let m = code.encoded_blocks();
+        prop_assert_eq!(code.min_decode_blocks(), n);
+        for mask in 0u32..1 << m {
+            if mask.count_ones() as usize != n {
+                continue;
+            }
+            let subset: Vec<_> = encoded
+                .iter()
+                .filter(|b| mask & (1 << b.index) != 0)
+                .cloned()
+                .collect();
+            prop_assert_eq!(
+                code.decode(&subset, data.len()).unwrap(),
+                data.clone(),
+                "RS({}, {}) failed on subset {:b}", n, m, mask
+            );
+        }
     }
 
     // ---- identifier ring -----------------------------------------------------
@@ -193,9 +244,14 @@ proptest! {
         data in proptest::collection::vec(any::<u8>(), 1..200_000),
         offset_frac in 0.0f64..1.0,
         len in 0u64..50_000,
-        coding_pick in 0usize..3,
+        coding_pick in 0usize..4,
     ) {
-        let coding = [CodingPolicy::None, CodingPolicy::xor_2_3(), CodingPolicy::online_default()][coding_pick];
+        let coding = [
+            CodingPolicy::None,
+            CodingPolicy::xor_2_3(),
+            CodingPolicy::online_default(),
+            CodingPolicy::rs_default(),
+        ][coding_pick];
         let mut rng = DetRng::new(77);
         let cluster = ClusterConfig {
             nodes: 24,
