@@ -1,0 +1,87 @@
+//! Benchmarks the repair subsystem's event throughput: how many maintenance
+//! events per second the scheduler/engine sustains at 1 000 and 10 000 nodes.
+//!
+//! The engine's per-event cost is O(blocks touched), so events/sec should stay
+//! roughly flat as the population grows — this bench is the regression guard
+//! for that property.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use peerstripe_core::{ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem};
+use peerstripe_repair::{
+    BandwidthBudget, ChurnProcess, DetectorConfig, MaintenanceEngine, RepairConfig, RepairPolicy,
+    SessionModel,
+};
+use peerstripe_sim::{ByteSize, DetRng, SimTime};
+use peerstripe_trace::TraceConfig;
+use std::time::Duration;
+
+/// A deployed cluster + manifests, cloneable per measurement batch.
+fn deploy(
+    nodes: usize,
+    seed: u64,
+) -> (
+    peerstripe_core::StorageCluster,
+    peerstripe_core::ManifestStore,
+) {
+    let mut rng = DetRng::new(seed);
+    let cluster = ClusterConfig::scaled(nodes).build(&mut rng);
+    let mut ps = PeerStripe::new(
+        cluster,
+        PeerStripeConfig::default().with_coding(CodingPolicy::online_default()),
+    );
+    // A light per-node load keeps bench setup fast while exercising the same
+    // per-event code paths as the full sweep.
+    let trace = TraceConfig::scaled(nodes * 2).generate(seed ^ 0xc0de);
+    for file in &trace.files {
+        let _ = ps.store_file(file);
+    }
+    let manifests = ps.manifests().clone();
+    (ps.into_cluster(), manifests)
+}
+
+fn engine_of(
+    cluster: peerstripe_core::StorageCluster,
+    manifests: &peerstripe_core::ManifestStore,
+    seed: u64,
+) -> MaintenanceEngine {
+    let churn = ChurnProcess {
+        sessions: SessionModel::Synthetic {
+            mean_session_secs: 8.0 * 3_600.0,
+            mean_downtime_secs: 4.0 * 3_600.0,
+        },
+        permanent_fraction: 0.01,
+    };
+    let config = RepairConfig {
+        policy: RepairPolicy::Eager,
+        detector: DetectorConfig::default_desktop_grid().with_timeout(24.0 * 3_600.0),
+        bandwidth: BandwidthBudget::symmetric(ByteSize::mb(4)),
+        sample_period_secs: 3_600.0,
+    };
+    MaintenanceEngine::new(cluster, manifests, churn, config, seed)
+}
+
+/// Events/sec of the maintenance engine driving 24 h of churn.
+fn bench_repair_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair_schedule");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(10));
+    for nodes in [1_000usize, 10_000] {
+        let (cluster, manifests) = deploy(nodes, 42);
+        group.bench_function(format!("churn_24h/{nodes}_nodes"), |b| {
+            b.iter_batched(
+                || engine_of(cluster.clone(), &manifests, 42),
+                |mut engine| {
+                    engine.run_for(SimTime::from_secs(24 * 3_600));
+                    engine.events_processed()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair_schedule);
+criterion_main!(benches);

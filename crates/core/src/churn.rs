@@ -16,7 +16,7 @@
 use crate::cluster::StorageCluster;
 use crate::system::ManifestStore;
 use peerstripe_overlay::NodeRef;
-use peerstripe_sim::{ByteSize, DetRng, OnlineStats};
+use peerstripe_sim::{ByteSize, DetRng, OnlineStats, RateLimiter, SimTime};
 use std::collections::HashMap;
 
 /// Incremental tracker of file availability as nodes fail (no recovery).
@@ -131,6 +131,158 @@ impl AvailabilityTracker {
     }
 }
 
+/// The blocks a chunk lost with one failed node, as reported by
+/// [`DamageLedger::remove_node`].
+#[derive(Debug, Clone)]
+pub struct NodeLoss {
+    /// The affected chunk's index in the ledger.
+    pub chunk: u32,
+    /// Sizes of the blocks the chunk held on the failed node.
+    pub lost: Vec<ByteSize>,
+    /// Number of blocks the chunk still has registered after the removal.
+    pub survivors: usize,
+}
+
+/// Per-chunk block bookkeeping shared by every maintenance layer.
+///
+/// The ledger tracks, for every non-empty chunk of every stored file, which
+/// nodes hold its encoded blocks and how many of them the chunk needs to stay
+/// recoverable.  [`RegenerationSim`] (the single-wave Table 3 sweep) and the
+/// event-driven engine in `peerstripe-repair` both drive their damage
+/// assessment through this structure, so "what did this failure cost" is
+/// answered the same way at every time scale.
+#[derive(Debug, Clone, Default)]
+pub struct DamageLedger {
+    chunk_blocks: Vec<Vec<(NodeRef, ByteSize)>>,
+    chunk_needed: Vec<usize>,
+    chunk_size: Vec<ByteSize>,
+    chunk_file: Vec<u32>,
+    chunk_lost: Vec<bool>,
+    file_sizes: Vec<ByteSize>,
+    node_index: HashMap<NodeRef, Vec<u32>>,
+}
+
+impl DamageLedger {
+    /// Build the ledger from the manifests of a fully stored system.
+    pub fn build(manifests: &ManifestStore) -> Self {
+        let mut ledger = DamageLedger::default();
+        for manifest in manifests.iter() {
+            let file_idx = ledger.file_sizes.len() as u32;
+            ledger.file_sizes.push(manifest.size);
+            for chunk in &manifest.chunks {
+                if chunk.size.is_zero() {
+                    continue;
+                }
+                let chunk_idx = ledger.chunk_blocks.len() as u32;
+                let blocks: Vec<(NodeRef, ByteSize)> =
+                    chunk.blocks.iter().map(|b| (b.node, b.size)).collect();
+                for (node, _) in &blocks {
+                    ledger.node_index.entry(*node).or_default().push(chunk_idx);
+                }
+                ledger.chunk_blocks.push(blocks);
+                ledger.chunk_needed.push(chunk.min_blocks_needed);
+                ledger.chunk_size.push(chunk.size);
+                ledger.chunk_file.push(file_idx);
+                ledger.chunk_lost.push(false);
+            }
+        }
+        ledger
+    }
+
+    /// Number of tracked (non-empty) chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_blocks.len()
+    }
+
+    /// Number of tracked files.
+    pub fn file_count(&self) -> usize {
+        self.file_sizes.len()
+    }
+
+    /// Total user bytes across all tracked chunks (lost chunks included).
+    pub fn tracked_bytes(&self) -> ByteSize {
+        self.chunk_size.iter().copied().sum()
+    }
+
+    /// The blocks currently registered for a chunk.
+    pub fn blocks(&self, chunk: u32) -> &[(NodeRef, ByteSize)] {
+        &self.chunk_blocks[chunk as usize]
+    }
+
+    /// Minimum number of surviving blocks the chunk needs.
+    pub fn needed(&self, chunk: u32) -> usize {
+        self.chunk_needed[chunk as usize]
+    }
+
+    /// User bytes covered by the chunk.
+    pub fn chunk_size(&self, chunk: u32) -> ByteSize {
+        self.chunk_size[chunk as usize]
+    }
+
+    /// Index of the file the chunk belongs to.
+    pub fn file_of(&self, chunk: u32) -> u32 {
+        self.chunk_file[chunk as usize]
+    }
+
+    /// Size of a tracked file.
+    pub fn file_size(&self, file: u32) -> ByteSize {
+        self.file_sizes[file as usize]
+    }
+
+    /// True if the chunk has been written off as unrecoverable.
+    pub fn is_lost(&self, chunk: u32) -> bool {
+        self.chunk_lost[chunk as usize]
+    }
+
+    /// Write a chunk off as unrecoverable.
+    pub fn mark_lost(&mut self, chunk: u32) {
+        self.chunk_lost[chunk as usize] = true;
+    }
+
+    /// The chunks with at least one block on `node` (one entry **per block**, so
+    /// a node holding two blocks of a chunk lists it twice).
+    pub fn chunks_on(&self, node: NodeRef) -> &[u32] {
+        self.node_index.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Register a freshly placed (regenerated) block.
+    pub fn place_block(&mut self, chunk: u32, node: NodeRef, size: ByteSize) {
+        self.chunk_blocks[chunk as usize].push((node, size));
+        self.node_index.entry(node).or_default().push(chunk);
+    }
+
+    /// Remove every block `node` held and report the damage per affected chunk,
+    /// in first-placement order.  Chunks already written off are skipped (their
+    /// loss has been accounted; nothing further can change it).
+    pub fn remove_node(&mut self, node: NodeRef) -> Vec<NodeLoss> {
+        let Some(chunks) = self.node_index.remove(&node) else {
+            return Vec::new();
+        };
+        let mut dedup = std::collections::HashSet::new();
+        let mut losses = Vec::new();
+        for chunk_idx in chunks {
+            let ci = chunk_idx as usize;
+            if self.chunk_lost[ci] || !dedup.insert(chunk_idx) {
+                // Either already written off, or already handled for this
+                // removal (a node can hold several blocks of one chunk).
+                continue;
+            }
+            let lost: Vec<ByteSize> = self.chunk_blocks[ci]
+                .iter()
+                .filter(|(n, _)| *n == node)
+                .map(|(_, s)| *s)
+                .collect();
+            self.chunk_blocks[ci].retain(|(n, _)| *n != node);
+            losses.push(NodeLoss {
+                chunk: chunk_idx,
+                lost,
+                survivors: self.chunk_blocks[ci].len(),
+            });
+        }
+        losses
+    }
+}
+
 /// Per-failure accounting produced by [`RegenerationSim`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FailureAccount {
@@ -154,126 +306,83 @@ pub struct RegenerationReport {
 }
 
 /// Simulation of failure-driven block regeneration (Section 4.4 / Table 3).
+///
+/// A thin adapter over [`DamageLedger`]: each failure removes the node's blocks
+/// from the ledger, writes off chunks that fall below their decode threshold,
+/// and regenerates the rest onto live nodes, charging the regenerated bytes
+/// against a single recovery pipeline ([`RateLimiter`]) whose drain time makes
+/// the recovery delay proportional to the recovered data, as in the paper.
+/// The continuous-time engine in `peerstripe-repair` supersedes this for
+/// durability-over-time studies; this adapter remains the single-wave Table 3
+/// accounting.
 pub struct RegenerationSim {
-    /// Per chunk: live replicas as (node, block size).
-    chunk_blocks: Vec<Vec<(NodeRef, ByteSize)>>,
-    chunk_needed: Vec<usize>,
-    chunk_size: Vec<ByteSize>,
-    chunk_lost: Vec<bool>,
-    node_index: HashMap<NodeRef, Vec<u32>>,
-    /// Bytes per second at which a node regenerates lost blocks.
-    regen_rate: f64,
+    ledger: DamageLedger,
+    /// The shared recovery pipeline lost blocks are regenerated through.
+    pipeline: RateLimiter,
     /// Seconds between consecutive node failures.
     failure_interval: f64,
-    /// Virtual time at which the regeneration pipeline drains.
-    backlog_done_at: f64,
-    now: f64,
+    now: SimTime,
 }
 
 impl RegenerationSim {
     /// Build the simulation from stored manifests.
     ///
     /// `regen_rate` is the recovery bandwidth in bytes/second (the paper makes
-    /// the recovery delay proportional to the recovered data); `failure_interval`
-    /// is the time between consecutive failures, so a slow recovery pipeline can
-    /// still be busy when the next failure arrives.
+    /// the recovery delay proportional to the recovered data), with zero
+    /// meaning *unconstrained* recovery (no backlog ever accrues);
+    /// `failure_interval` is the time between consecutive failures, so a slow
+    /// recovery pipeline can still be busy when the next failure arrives.
     pub fn build(
         manifests: &ManifestStore,
         regen_rate: ByteSize,
         failure_interval_secs: f64,
     ) -> Self {
-        let mut sim = RegenerationSim {
-            chunk_blocks: Vec::new(),
-            chunk_needed: Vec::new(),
-            chunk_size: Vec::new(),
-            chunk_lost: Vec::new(),
-            node_index: HashMap::new(),
-            regen_rate: regen_rate.as_u64() as f64,
+        RegenerationSim {
+            ledger: DamageLedger::build(manifests),
+            pipeline: if regen_rate.is_zero() {
+                RateLimiter::unlimited()
+            } else {
+                RateLimiter::new(regen_rate)
+            },
             failure_interval: failure_interval_secs,
-            backlog_done_at: 0.0,
-            now: 0.0,
-        };
-        for manifest in manifests.iter() {
-            for chunk in &manifest.chunks {
-                if chunk.size.is_zero() {
-                    continue;
-                }
-                let chunk_idx = sim.chunk_blocks.len() as u32;
-                let blocks: Vec<(NodeRef, ByteSize)> =
-                    chunk.blocks.iter().map(|b| (b.node, b.size)).collect();
-                for (node, _) in &blocks {
-                    sim.node_index.entry(*node).or_default().push(chunk_idx);
-                }
-                sim.chunk_blocks.push(blocks);
-                sim.chunk_needed.push(chunk.min_blocks_needed);
-                sim.chunk_size.push(chunk.size);
-                sim.chunk_lost.push(false);
-            }
+            now: SimTime::ZERO,
         }
-        sim
     }
 
     /// Total user bytes tracked.
     pub fn tracked_bytes(&self) -> ByteSize {
-        self.chunk_size.iter().copied().sum()
+        self.ledger.tracked_bytes()
+    }
+
+    /// The underlying block ledger (current placements, losses, damage).
+    pub fn ledger(&self) -> &DamageLedger {
+        &self.ledger
+    }
+
+    /// How long after the latest failure the regeneration pipeline stays busy.
+    pub fn backlog(&self) -> SimTime {
+        self.pipeline.backlog(self.now)
     }
 
     /// Fail one node: regenerate what can be regenerated onto live nodes chosen
     /// through the cluster, and account what is lost.
-    ///
-    /// While the regeneration pipeline is still busy with earlier failures
-    /// (`backlog`), newly regenerated blocks do not yet count as live, so chunks
-    /// hit by closely spaced failures can lose data even though each failure in
-    /// isolation would have been recoverable — the effect the paper's
-    /// proportional recovery delay is designed to expose.
     pub fn fail_node(
         &mut self,
         node: NodeRef,
         cluster: &mut StorageCluster,
         rng: &mut DetRng,
     ) -> FailureAccount {
-        self.now += self.failure_interval;
+        self.now += SimTime::from_secs_f64(self.failure_interval);
         let mut account = FailureAccount::default();
-        let Some(chunks) = self.node_index.remove(&node) else {
-            return account;
-        };
-        let pipeline_busy = self.backlog_done_at > self.now;
         let mut regen_batch: Vec<(u32, ByteSize)> = Vec::new();
-        let mut dedup = std::collections::HashSet::new();
-        for chunk_idx in chunks {
-            let ci = chunk_idx as usize;
-            if self.chunk_lost[ci] || !dedup.insert(chunk_idx) {
-                // Either already written off, or we already handled this chunk
-                // for this failure (a node can hold several blocks of one chunk).
-                continue;
-            }
-            let lost_here: Vec<ByteSize> = self.chunk_blocks[ci]
-                .iter()
-                .filter(|(n, _)| *n == node)
-                .map(|(_, s)| *s)
-                .collect();
-            self.chunk_blocks[ci].retain(|(n, _)| *n != node);
-            let alive = self.chunk_blocks[ci].len();
-            // When the pipeline is backed up, blocks regenerated for previous
-            // failures have not landed yet, which we conservatively model by
-            // requiring one extra live block to consider the chunk safe.
-            let effective_needed = self.chunk_needed[ci] + usize::from(pipeline_busy);
-            if alive >= self.chunk_needed[ci] {
-                if alive >= effective_needed || !pipeline_busy {
-                    for size in lost_here {
-                        regen_batch.push((chunk_idx, size));
-                    }
-                } else {
-                    // Recoverable in principle, but the busy pipeline means the
-                    // regeneration is queued behind earlier work; count it as
-                    // regenerated later (it still contributes to the backlog).
-                    for size in lost_here {
-                        regen_batch.push((chunk_idx, size));
-                    }
+        for loss in self.ledger.remove_node(node) {
+            if loss.survivors >= self.ledger.needed(loss.chunk) {
+                for size in loss.lost {
+                    regen_batch.push((loss.chunk, size));
                 }
             } else {
-                self.chunk_lost[ci] = true;
-                account.lost += self.chunk_size[ci];
+                self.ledger.mark_lost(loss.chunk);
+                account.lost += self.ledger.chunk_size(loss.chunk);
             }
         }
         // Place the regenerated blocks on live nodes (the takeover inheritors are
@@ -281,26 +390,21 @@ impl RegenerationSim {
         // near the failed node approximates; any live node with space works for
         // the accounting in Table 3).
         for (chunk_idx, size) in regen_batch {
-            let ci = chunk_idx as usize;
             let target = cluster
                 .overlay()
                 .route_quiet(peerstripe_overlay::Id::random(rng))
                 .filter(|n| cluster.node(*n).can_store(size));
             if let Some(target) = target {
-                self.chunk_blocks[ci].push((target, size));
-                self.node_index.entry(target).or_default().push(chunk_idx);
+                self.ledger.place_block(chunk_idx, target, size);
                 account.regenerated += size;
             } else {
                 // Nowhere to put it right now: the redundancy is not restored,
                 // but the chunk is not lost either (online codes let us retry).
             }
         }
-        // Extend the pipeline backlog by the time to regenerate this batch.
-        if self.regen_rate > 0.0 {
-            let duration = account.regenerated.as_u64() as f64 / self.regen_rate;
-            let start = self.backlog_done_at.max(self.now);
-            self.backlog_done_at = start + duration;
-        }
+        // Queue this batch behind earlier work: the pipeline's drain time is
+        // what makes closely spaced failures see a busy recovery path.
+        self.pipeline.reserve(account.regenerated, self.now);
         account
     }
 
@@ -440,6 +544,76 @@ mod tests {
         let sizes = AvailabilityTracker::file_sizes(ps.manifests());
         tracker.fail_node(999_999, &sizes);
         assert_eq!(tracker.files_unavailable(), 0);
+    }
+
+    #[test]
+    fn damage_ledger_mirrors_manifests() {
+        let ps = loaded_system(CodingPolicy::xor_2_3(), 31);
+        let ledger = DamageLedger::build(ps.manifests());
+        assert_eq!(ledger.file_count(), 40);
+        let manifest_chunks: usize = ps
+            .manifests()
+            .iter()
+            .map(|m| m.chunks.iter().filter(|c| !c.size.is_zero()).count())
+            .sum();
+        assert_eq!(ledger.chunk_count(), manifest_chunks);
+        let manifest_bytes: ByteSize = ps.manifests().iter().map(|m| m.size).sum();
+        assert_eq!(ledger.tracked_bytes(), manifest_bytes);
+        // Every (2,3) chunk needs 2 of its 3 blocks.
+        for chunk in 0..ledger.chunk_count() as u32 {
+            assert_eq!(ledger.needed(chunk), 2);
+            assert_eq!(ledger.blocks(chunk).len(), 3);
+            assert!(!ledger.is_lost(chunk));
+            assert!(ledger.file_size(ledger.file_of(chunk)) > ByteSize::ZERO);
+        }
+    }
+
+    #[test]
+    fn damage_ledger_removal_and_placement_round_trip() {
+        let ps = loaded_system(CodingPolicy::xor_2_3(), 32);
+        let mut ledger = DamageLedger::build(ps.manifests());
+        // Pick a node that holds at least one block.
+        let node = (0..ps.cluster().node_count())
+            .find(|n| !ledger.chunks_on(*n).is_empty())
+            .expect("some node holds blocks");
+        let held = ledger.chunks_on(node).to_vec();
+        let losses = ledger.remove_node(node);
+        assert!(!losses.is_empty());
+        let removed_blocks: usize = losses.iter().map(|l| l.lost.len()).sum();
+        assert_eq!(removed_blocks, held.len(), "one loss entry per held block");
+        for loss in &losses {
+            assert_eq!(loss.survivors, ledger.blocks(loss.chunk).len());
+            assert!(ledger.blocks(loss.chunk).iter().all(|(n, _)| *n != node));
+        }
+        // Removing again is a no-op; re-placing restores the index.
+        assert!(ledger.remove_node(node).is_empty());
+        let chunk = losses[0].chunk;
+        ledger.place_block(chunk, node, ByteSize::mb(1));
+        assert_eq!(ledger.chunks_on(node), &[chunk]);
+        assert!(ledger.blocks(chunk).contains(&(node, ByteSize::mb(1))));
+        // Lost chunks are skipped by removal (their loss is already accounted).
+        ledger.mark_lost(chunk);
+        assert!(ledger.is_lost(chunk));
+        assert!(ledger.remove_node(node).is_empty());
+    }
+
+    #[test]
+    fn regeneration_pipeline_backlog_grows_with_work() {
+        let mut ps = loaded_system(CodingPolicy::online_default(), 33);
+        let mut rng = DetRng::new(34);
+        // 1 MB/s recovery with failures every second: the pipeline cannot keep up.
+        let mut sim = RegenerationSim::build(ps.manifests(), ByteSize::mb(1), 1.0);
+        let report = sim.fail_fraction(ps.cluster_mut(), 0.05, &mut rng);
+        assert!(report.data_regenerated > ByteSize::ZERO);
+        let expected_secs = report.data_regenerated.as_u64() as f64
+            / ByteSize::mb(1).as_u64() as f64
+            - report.nodes_failed as f64;
+        assert!(
+            sim.backlog().as_secs_f64() >= expected_secs.max(0.0) - 1e-6,
+            "backlog {} too small for {} regenerated",
+            sim.backlog(),
+            report.data_regenerated
+        );
     }
 
     #[test]

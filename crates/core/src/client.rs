@@ -420,14 +420,14 @@ impl PeerStripe {
             return None;
         }
         let codec = self.config.coding.codec(self.config.data_path_blocks);
-        let chunk_bytes = codec.decode(&have, chunk.size.as_u64() as usize).ok()?;
         let present: std::collections::HashSet<u32> = have.iter().map(|b| b.index).collect();
-        let missing: Vec<EncodedBlock> = codec
-            .encode(&chunk_bytes)
-            .into_iter()
-            .filter(|b| !present.contains(&b.index))
+        let missing: Vec<u32> = (0..codec.encoded_blocks() as u32)
+            .filter(|i| !present.contains(i))
             .collect();
-        Some(pack_payload(&missing))
+        let rebuilt = codec
+            .reencode(&have, chunk.size.as_u64() as usize, &missing)
+            .ok()?;
+        Some(pack_payload(&rebuilt))
     }
 
     /// Handle the failure of a node: regenerate the encoded blocks it held from
@@ -619,7 +619,11 @@ fn distribute_payloads(
 }
 
 /// Serialise a group of encoded blocks into one payload: `[count][index, len, bytes]*`.
-fn pack_payload(blocks: &[EncodedBlock]) -> Vec<u8> {
+///
+/// This is the on-node payload format of every block object PeerStripe places;
+/// it is public so maintenance tooling (the `peerstripe-repair` regeneration
+/// executors) can rebuild block payloads outside the client.
+pub fn pack_payload(blocks: &[EncodedBlock]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
     for b in blocks {
@@ -631,7 +635,7 @@ fn pack_payload(blocks: &[EncodedBlock]) -> Vec<u8> {
 }
 
 /// Inverse of [`pack_payload`].
-fn unpack_payload(payload: &[u8]) -> Vec<EncodedBlock> {
+pub fn unpack_payload(payload: &[u8]) -> Vec<EncodedBlock> {
     let mut out = Vec::new();
     if payload.len() < 4 {
         return out;

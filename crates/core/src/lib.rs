@@ -34,9 +34,10 @@ pub mod storage;
 pub mod system;
 
 pub use cat::{ChunkAllocationTable, ChunkExtent};
+pub use churn::{DamageLedger, NodeLoss};
 pub use client::{PeerStripe, PeerStripeConfig, RecoveryReport};
 pub use cluster::{ClusterConfig, ClusterStoreError, StorageCluster};
-pub use metrics::StoreMetrics;
+pub use metrics::{MaintenanceMetrics, MaintenanceSample, StoreMetrics};
 pub use naming::ObjectName;
 pub use policy::CodingPolicy;
 pub use storage::{NodeStoreError, StorageNode, StoredObject};

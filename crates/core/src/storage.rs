@@ -35,6 +35,21 @@ pub enum NodeStoreError {
     AlreadyStored,
 }
 
+impl std::fmt::Display for NodeStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeStoreError::InsufficientSpace => {
+                write!(f, "insufficient free space on the target node")
+            }
+            NodeStoreError::AlreadyStored => {
+                write!(f, "an object with the same key is already stored")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NodeStoreError {}
+
 /// Storage state of one contributory node.
 #[derive(Debug, Clone)]
 pub struct StorageNode {
@@ -136,6 +151,19 @@ impl StorageNode {
         self.object_count = self.object_count.saturating_sub(1);
     }
 
+    /// Charge `size` bytes without storing an identified object — the
+    /// counterpart of [`StorageNode::release`], used by placement-only
+    /// maintenance accounting (regenerated blocks tracked in a ledger rather
+    /// than as node objects).  Fails like a store when the space is not there.
+    pub fn reserve(&mut self, size: ByteSize) -> Result<(), NodeStoreError> {
+        if !self.can_store(size) {
+            return Err(NodeStoreError::InsufficientSpace);
+        }
+        self.used += size;
+        self.object_count += 1;
+        Ok(())
+    }
+
     /// True if the node currently stores the object (requires object tracking).
     pub fn has(&self, key: Id) -> bool {
         self.objects.contains_key(&key)
@@ -203,6 +231,36 @@ mod tests {
             node.store(Id(1), obj("a", ByteSize::mb(100))),
             Err(NodeStoreError::AlreadyStored)
         );
+    }
+
+    #[test]
+    fn store_errors_propagate_with_question_mark() {
+        // `?`-propagation through a boxed error: the point of the Error impl.
+        fn try_store(node: &mut StorageNode) -> Result<(), Box<dyn std::error::Error>> {
+            node.store(Id(1), obj("big", ByteSize::gb(2)))?;
+            Ok(())
+        }
+        let mut node = StorageNode::new(ByteSize::gb(1), 1.0, true);
+        let err = try_store(&mut node).unwrap_err();
+        assert!(err.to_string().contains("insufficient free space"));
+        assert_eq!(
+            NodeStoreError::AlreadyStored.to_string(),
+            "an object with the same key is already stored"
+        );
+    }
+
+    #[test]
+    fn reserve_charges_space_without_an_object() {
+        let mut node = StorageNode::new(ByteSize::gb(1), 1.0, true);
+        node.reserve(ByteSize::mb(600)).unwrap();
+        assert_eq!(node.used(), ByteSize::mb(600));
+        assert_eq!(node.object_count(), 1);
+        assert_eq!(
+            node.reserve(ByteSize::mb(600)),
+            Err(NodeStoreError::InsufficientSpace)
+        );
+        node.release(ByteSize::mb(600));
+        assert_eq!(node.used(), ByteSize::ZERO);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::naming::ObjectName;
 use peerstripe_overlay::NodeRef;
 use peerstripe_sim::ByteSize;
 use peerstripe_trace::FileRecord;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of attempting to store one file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,9 +115,14 @@ impl FileManifest {
 }
 
 /// A catalogue of manifests, keyed by file name.
+///
+/// Backed by a `BTreeMap` so iteration (and everything derived from it:
+/// availability trackers, damage ledgers, regeneration order) is
+/// deterministic — a `HashMap` would reshuffle per process and break
+/// fixed-seed reproducibility of the churn experiments.
 #[derive(Debug, Clone, Default)]
 pub struct ManifestStore {
-    manifests: HashMap<String, FileManifest>,
+    manifests: BTreeMap<String, FileManifest>,
 }
 
 impl ManifestStore {

@@ -124,6 +124,31 @@ pub trait ErasureCode: Send + Sync {
 
     /// Decode a chunk of original length `chunk_len` from (a subset of) its blocks.
     fn decode(&self, blocks: &[EncodedBlock], chunk_len: usize) -> Result<Vec<u8>, DecodeError>;
+
+    /// Regenerate only the encoded blocks listed in `missing` from the
+    /// `available` survivors — the block-level repair entry point (Section 4.4:
+    /// a failed participant's blocks are recreated from the surviving ones).
+    ///
+    /// The default path decodes the chunk and re-encodes it, returning the
+    /// requested indices in ascending order; codecs with cheaper partial
+    /// re-encoding (e.g. Reed–Solomon parity rows) override this.  Indices not
+    /// produced by the codec are silently absent from the result.
+    fn reencode(
+        &self,
+        available: &[EncodedBlock],
+        chunk_len: usize,
+        missing: &[u32],
+    ) -> Result<Vec<EncodedBlock>, DecodeError> {
+        let chunk = self.decode(available, chunk_len)?;
+        let mut wanted: Vec<u32> = missing.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+        Ok(self
+            .encode(&chunk)
+            .into_iter()
+            .filter(|b| wanted.binary_search(&b.index).is_ok())
+            .collect())
+    }
 }
 
 /// Split a chunk into `n` equal-size source blocks, zero-padding the last one.
@@ -224,6 +249,29 @@ mod tests {
         assert_eq!(b.len(), 3);
         assert!(!b.is_empty());
         assert!(EncodedBlock::new(0, vec![]).is_empty());
+    }
+
+    #[test]
+    fn default_reencode_rebuilds_exactly_the_missing_blocks() {
+        // Exercised through the XOR codec, which does not override the default.
+        let code = crate::xor::XorCode::new(2, 4);
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let encoded = code.encode(&data);
+        // Lose one block per parity group (indices 1 and 2 here).
+        let surviving: Vec<EncodedBlock> = encoded
+            .iter()
+            .filter(|b| b.index != 1 && b.index != 2)
+            .cloned()
+            .collect();
+        let rebuilt = code.reencode(&surviving, data.len(), &[2, 1, 1]).unwrap();
+        assert_eq!(rebuilt.len(), 2, "duplicates deduplicated");
+        for b in &rebuilt {
+            let original = encoded.iter().find(|o| o.index == b.index).unwrap();
+            assert_eq!(b, original, "regenerated block {} differs", b.index);
+        }
+        // Not enough survivors propagates the decode error.
+        let too_few: Vec<EncodedBlock> = encoded[..1].to_vec();
+        assert!(code.reencode(&too_few, data.len(), &[5]).is_err());
     }
 
     #[test]

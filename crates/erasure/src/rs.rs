@@ -104,6 +104,33 @@ impl ReedSolomonCode {
             .collect()
     }
 
+    /// Re-encode exactly the rows in `rows` (ascending, deduplicated by the
+    /// caller) from a decoded chunk: source rows are sliced straight out of the
+    /// chunk, parity rows run only their own coefficient row — so repairing one
+    /// lost block costs one row of GF multiply-adds, not a full encode.
+    fn reencode_rows(&self, chunk: &[u8], rows: &[u32]) -> Vec<EncodedBlock> {
+        let (sources, block_size) = split_into_blocks(chunk, self.data);
+        rows.iter()
+            .filter(|&&r| (r as usize) < self.data + self.parity)
+            .map(|&r| {
+                let data = if (r as usize) < self.data {
+                    sources[r as usize].clone()
+                } else {
+                    let mut out = vec![0u8; block_size];
+                    for (j, src) in sources.iter().enumerate() {
+                        gf256::mul_add_slice(
+                            self.coef.get(r as usize - self.data, j),
+                            src,
+                            &mut out,
+                        );
+                    }
+                    out
+                };
+                EncodedBlock::new(r, data)
+            })
+            .collect()
+    }
+
     /// Encode on the calling thread only.
     pub fn encode_serial(&self, chunk: &[u8]) -> Vec<EncodedBlock> {
         let (sources, block_size) = split_into_blocks(chunk, self.data);
@@ -175,6 +202,20 @@ impl ErasureCode for ReedSolomonCode {
         } else {
             self.encode_serial(chunk)
         }
+    }
+
+    /// Partial re-encode: decode once, then compute only the requested rows.
+    fn reencode(
+        &self,
+        available: &[EncodedBlock],
+        chunk_len: usize,
+        missing: &[u32],
+    ) -> Result<Vec<EncodedBlock>, DecodeError> {
+        let chunk = self.decode(available, chunk_len)?;
+        let mut wanted: Vec<u32> = missing.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+        Ok(self.reencode_rows(&chunk, &wanted))
     }
 
     fn decode(&self, blocks: &[EncodedBlock], chunk_len: usize) -> Result<Vec<u8>, DecodeError> {
@@ -405,5 +446,34 @@ mod tests {
     #[should_panic(expected = "at most 256 blocks")]
     fn rejects_too_many_blocks() {
         let _ = ReedSolomonCode::new(200, 100);
+    }
+
+    #[test]
+    fn partial_reencode_matches_full_encode() {
+        let code = ReedSolomonCode::new(5, 3);
+        let chunk = sample_chunk(4_097, 10);
+        let encoded = code.encode(&chunk);
+        // Lose a data block and a parity block, keep a minimal mixed subset.
+        let surviving: Vec<EncodedBlock> = encoded
+            .iter()
+            .filter(|b| b.index != 2 && b.index != 6)
+            .cloned()
+            .collect();
+        let rebuilt = code
+            .reencode(&surviving, chunk.len(), &[6, 2, 2, 99])
+            .unwrap();
+        // Deduplicated, ascending, out-of-range indices dropped.
+        let indices: Vec<u32> = rebuilt.iter().map(|b| b.index).collect();
+        assert_eq!(indices, vec![2, 6]);
+        for b in &rebuilt {
+            let original = encoded.iter().find(|o| o.index == b.index).unwrap();
+            assert_eq!(b, original, "row {} differs from full encode", b.index);
+        }
+        // Fewer than `data` survivors cannot re-encode anything.
+        let too_few: Vec<EncodedBlock> = encoded[..4].to_vec();
+        assert!(matches!(
+            code.reencode(&too_few, chunk.len(), &[7]),
+            Err(DecodeError::NotEnoughBlocks { have: 4, need: 5 })
+        ));
     }
 }

@@ -9,6 +9,7 @@
 //!   table2                  erasure-code cost (Null / XOR / Online / Reed-Solomon)
 //!   rs-sweep                Reed-Solomon (n, m) sweep: throughput + minimal-subset recovery
 //!   table3                  data lost & regenerated under 10% / 20% churn
+//!   repair-sweep            continuous churn: repair policy × timeout × bandwidth
 //!   fig11 fig12             Bullet/RanSub replica dissemination
 //!   table4                  Condor bigCopy case study
 //!   all                     everything above

@@ -5,13 +5,24 @@ use crate::availability::{run_availability, run_regeneration, ChurnConfig};
 use crate::coding::{run_rs_sweep, run_table2, CodingConfig, RsSweepConfig};
 use crate::condor::{run_table4, CondorConfig};
 use crate::multicast_fig::{run_ransub_sweep, run_spread, MulticastConfig};
+use crate::repair_sweep::{run_repair_sweep, RepairSweepConfig};
 use crate::report;
 use crate::scale::Scale;
 use crate::storesim::{run_store_comparison, StoreSimConfig};
 
 /// Every experiment name `repro` understands, in `all` execution order.
 pub const EXPERIMENTS: &[&str] = &[
-    "fig7", "fig8", "fig9", "table1", "fig10", "table2", "rs-sweep", "table3", "fig11", "fig12",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table1",
+    "fig10",
+    "table2",
+    "rs-sweep",
+    "table3",
+    "repair-sweep",
+    "fig11",
+    "fig12",
     "table4",
 ];
 
@@ -57,6 +68,12 @@ pub fn run_experiment_with(exp: &str, scale: Scale, seed: u64, emit: &mut dyn Fn
         matched = true;
         let rows = run_regeneration(&ChurnConfig::at_scale(scale, seed));
         emit(&report::render_table3(&rows));
+        emit("\n");
+    }
+    if matches!(exp, "repair-sweep" | "all") {
+        matched = true;
+        let sweep = run_repair_sweep(&RepairSweepConfig::at_scale(scale, seed));
+        emit(&report::render_repair_sweep(&sweep));
         emit("\n");
     }
     if matches!(exp, "fig11" | "all") {

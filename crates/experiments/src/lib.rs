@@ -11,6 +11,7 @@
 //! | Table 2 (erasure-code cost)    | [`coding::run_table2`] | `table2` |
 //! | RS (n, m) sweep (optimal code) | [`coding::run_rs_sweep`] | `rs-sweep` |
 //! | Table 3 (churn regeneration)   | [`availability::run_regeneration`] | `table3` |
+//! | Continuous churn & repair policies | [`repair_sweep::run_repair_sweep`] | `repair-sweep` |
 //! | Figure 11 (RanSub sweep)       | [`multicast_fig::run_ransub_sweep`] | `fig11` |
 //! | Figure 12 (packet spread)      | [`multicast_fig::run_spread`] | `fig12` |
 //! | Table 4 (Condor bigCopy)       | [`condor::run_table4`] | `table4` |
@@ -27,6 +28,7 @@ pub mod cli;
 pub mod coding;
 pub mod condor;
 pub mod multicast_fig;
+pub mod repair_sweep;
 pub mod report;
 pub mod scale;
 pub mod storesim;

@@ -5,6 +5,7 @@
 use crate::availability::{AvailabilityResult, Table3Row};
 use crate::coding::{RsSweep, Table2};
 use crate::multicast_fig::{RanSubSweep, SpreadResult};
+use crate::repair_sweep::RepairSweep;
 use crate::storesim::StoreComparison;
 use peerstripe_gridsim::Table4Row;
 use peerstripe_sim::stats::Figure;
@@ -168,6 +169,66 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
         ]);
     }
     t.render()
+}
+
+/// Render the continuous-churn repair-policy sweep.
+pub fn render_repair_sweep(sweep: &RepairSweep) -> String {
+    let mut t = TableBuilder::new(
+        format!(
+            "Repair sweep: {} nodes, {} files ({}), {:.0} h of churn per configuration",
+            sweep.nodes, sweep.files_total, sweep.useful_bytes, sweep.sim_hours
+        ),
+        &[
+            "Policy",
+            "Timeout",
+            "Node bw",
+            "Lost files",
+            "Avail (mean)",
+            "Avail (min)",
+            "Repair traffic",
+            "Repair/useful",
+            "False decl.",
+            "Node deaths",
+            "Events",
+        ],
+    );
+    for row in &sweep.rows {
+        t.row(&[
+            row.policy.label(),
+            format!("{:.0}h", row.timeout_hours),
+            format!("{}/s", row.bandwidth),
+            format!("{}", row.files_lost),
+            format!("{:.1}%", row.availability_mean_pct),
+            format!("{:.1}%", row.availability_min_pct),
+            format!("{}", row.repair_bytes),
+            format!("{:.4}", row.repair_per_useful_byte),
+            format!("{}", row.false_declarations),
+            format!("{}", row.permanent_failures),
+            format!("{}", row.events),
+        ]);
+    }
+    let mut out = t.render();
+    // Headline the policy trade-off at every matched configuration.
+    for (e, l) in sweep.matched_pairs() {
+        let eager = &sweep.rows[e];
+        let lazy = &sweep.rows[l];
+        let ratio = if eager.repair_per_useful_byte > 0.0 {
+            lazy.repair_per_useful_byte / eager.repair_per_useful_byte
+        } else {
+            1.0
+        };
+        let _ = writeln!(
+            out,
+            "{} vs eager @ timeout {:.0}h, {}/s: {:.2}x repair bytes, {} vs {} lost files",
+            lazy.policy.label(),
+            lazy.timeout_hours,
+            lazy.bandwidth,
+            ratio,
+            lazy.files_lost,
+            eager.files_lost,
+        );
+    }
+    out
 }
 
 /// Render Figure 11.

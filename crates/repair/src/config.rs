@@ -1,0 +1,256 @@
+//! Configuration of the churn process, failure detector, repair policies and
+//! bandwidth budgets.
+
+use peerstripe_sim::dist::{Distribution, Exponential};
+use peerstripe_sim::{ByteSize, DetRng};
+use peerstripe_trace::SessionTrace;
+use serde::{Deserialize, Serialize};
+
+/// Where the churn process draws node session/downtime lengths from.
+#[derive(Debug, Clone)]
+pub enum SessionModel {
+    /// Memoryless sessions and downtimes with the given means (seconds).
+    Synthetic {
+        /// Mean node uptime per session, in seconds.
+        mean_session_secs: f64,
+        /// Mean downtime between sessions, in seconds.
+        mean_downtime_secs: f64,
+    },
+    /// Empirical durations drawn from a [`SessionTrace`] (the trace-derived
+    /// mode: diurnal office machines, laptops, always-on lab nodes).
+    Trace(SessionTrace),
+}
+
+impl SessionModel {
+    /// The default desktop-grid parameters: 8 h mean sessions, 16 h mean
+    /// downtimes (machines are up a third of the time, as in the office-hours
+    /// regime the paper's Condor pool lives in).
+    pub fn desktop_grid_default() -> Self {
+        SessionModel::Synthetic {
+            mean_session_secs: 8.0 * 3_600.0,
+            mean_downtime_secs: 16.0 * 3_600.0,
+        }
+    }
+
+    /// Draw one session (uptime) length in seconds.
+    pub fn sample_session(&self, rng: &mut DetRng) -> f64 {
+        match self {
+            SessionModel::Synthetic {
+                mean_session_secs, ..
+            } => Exponential::new(1.0 / mean_session_secs).sample(rng),
+            SessionModel::Trace(trace) => trace.sample_session(rng),
+        }
+    }
+
+    /// Draw one downtime length in seconds.
+    pub fn sample_downtime(&self, rng: &mut DetRng) -> f64 {
+        match self {
+            SessionModel::Synthetic {
+                mean_downtime_secs, ..
+            } => Exponential::new(1.0 / mean_downtime_secs).sample(rng),
+            SessionModel::Trace(trace) => trace.sample_downtime(rng),
+        }
+    }
+}
+
+/// The churn process: how nodes leave and return.
+#[derive(Debug, Clone)]
+pub struct ChurnProcess {
+    /// Session/downtime length source.
+    pub sessions: SessionModel,
+    /// Probability that a departure is permanent (the disk never comes back).
+    pub permanent_fraction: f64,
+}
+
+impl ChurnProcess {
+    /// Desktop-grid defaults with a 2 % permanent-departure rate.
+    pub fn desktop_grid_default() -> Self {
+        ChurnProcess {
+            sessions: SessionModel::desktop_grid_default(),
+            permanent_fraction: 0.02,
+        }
+    }
+}
+
+/// When regeneration is triggered for a damaged chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairPolicy {
+    /// Regenerate every lost block as soon as its loss is confirmed.
+    Eager,
+    /// Regenerate only once the surviving blocks of a chunk drop to
+    /// `needed + margin` or fewer, then restore full redundancy in one batch.
+    /// Batching amortises the decode reads over several rebuilt blocks and
+    /// skips repairs that a returning transient node would have made moot.
+    Lazy {
+        /// Safety margin above the decode threshold (`k_min`): 0 waits until
+        /// the chunk has no slack left, 1 keeps one loss of slack, …
+        margin: usize,
+    },
+}
+
+impl RepairPolicy {
+    /// Short label used in sweep tables.
+    pub fn label(&self) -> String {
+        match self {
+            RepairPolicy::Eager => "eager".to_string(),
+            RepairPolicy::Lazy { margin } => format!("lazy(k={margin})"),
+        }
+    }
+
+    /// How many blocks to regenerate now for a chunk with `placed` registered
+    /// blocks (plus `in_flight` being rebuilt), a decode threshold of `needed`,
+    /// and an original placement of `target` blocks.
+    pub fn blocks_wanted(
+        &self,
+        placed: usize,
+        in_flight: usize,
+        needed: usize,
+        target: usize,
+    ) -> usize {
+        let effective = placed + in_flight;
+        match self {
+            RepairPolicy::Eager => target.saturating_sub(effective),
+            RepairPolicy::Lazy { margin } => {
+                if effective <= needed + margin {
+                    target.saturating_sub(effective)
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// Failure-detector timing.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Seconds between liveness probes; a departure is noticed at the next
+    /// probe boundary after it happens.
+    pub probe_period_secs: f64,
+    /// Additional lag between a probe observing the departure and the detector
+    /// reporting it (probe timeouts, gossip propagation).
+    pub detection_lag_secs: f64,
+    /// How long a node must stay away before it is declared permanently dead
+    /// and its blocks are written off for regeneration.  The knob that trades
+    /// false-positive repair traffic against the window of reduced redundancy.
+    pub permanence_timeout_secs: f64,
+}
+
+impl DetectorConfig {
+    /// Probe every 5 minutes, 30 s lag, declare dead after 48 h away — well
+    /// past the overnight/weekend downtimes of a desktop grid, so transient
+    /// departures are almost never written off.
+    pub fn default_desktop_grid() -> Self {
+        DetectorConfig {
+            probe_period_secs: 300.0,
+            detection_lag_secs: 30.0,
+            permanence_timeout_secs: 48.0 * 3_600.0,
+        }
+    }
+
+    /// The same probing with a different permanence timeout.
+    pub fn with_timeout(mut self, permanence_timeout_secs: f64) -> Self {
+        self.permanence_timeout_secs = permanence_timeout_secs;
+        self
+    }
+}
+
+/// Per-node repair bandwidth budgets.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BandwidthBudget {
+    /// Upload budget per node, bytes per second.
+    pub upload: ByteSize,
+    /// Download budget per node, bytes per second.
+    pub download: ByteSize,
+}
+
+impl BandwidthBudget {
+    /// A symmetric budget.
+    pub fn symmetric(rate: ByteSize) -> Self {
+        BandwidthBudget {
+            upload: rate,
+            download: rate,
+        }
+    }
+}
+
+/// Everything the maintenance engine needs besides the churn process.
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Regeneration trigger policy.
+    pub policy: RepairPolicy,
+    /// Failure-detector timing.
+    pub detector: DetectorConfig,
+    /// Per-node repair bandwidth budgets.
+    pub bandwidth: BandwidthBudget,
+    /// Seconds between periodic availability/durability samples.
+    pub sample_period_secs: f64,
+}
+
+impl RepairConfig {
+    /// Eager repair, default detector, 1 MB/s symmetric budgets, hourly samples.
+    pub fn default_desktop_grid() -> Self {
+        RepairConfig {
+            policy: RepairPolicy::Eager,
+            detector: DetectorConfig::default_desktop_grid(),
+            bandwidth: BandwidthBudget::symmetric(ByteSize::mb(1)),
+            sample_period_secs: 3_600.0,
+        }
+    }
+
+    /// Use the given repair policy.
+    pub fn with_policy(mut self, policy: RepairPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_sessions_match_their_mean() {
+        let model = SessionModel::Synthetic {
+            mean_session_secs: 1_000.0,
+            mean_downtime_secs: 500.0,
+        };
+        let mut rng = DetRng::new(1);
+        let n = 20_000;
+        let mean_s: f64 = (0..n).map(|_| model.sample_session(&mut rng)).sum::<f64>() / n as f64;
+        let mean_d: f64 = (0..n).map(|_| model.sample_downtime(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean_s - 1_000.0).abs() < 30.0, "mean session {mean_s}");
+        assert!((mean_d - 500.0).abs() < 15.0, "mean downtime {mean_d}");
+    }
+
+    #[test]
+    fn trace_mode_draws_from_the_trace() {
+        let trace = SessionTrace::new(vec![60.0], vec![30.0]);
+        let model = SessionModel::Trace(trace);
+        let mut rng = DetRng::new(2);
+        assert_eq!(model.sample_session(&mut rng), 60.0);
+        assert_eq!(model.sample_downtime(&mut rng), 30.0);
+    }
+
+    #[test]
+    fn eager_policy_always_tops_up() {
+        let p = RepairPolicy::Eager;
+        assert_eq!(p.blocks_wanted(6, 0, 4, 6), 0);
+        assert_eq!(p.blocks_wanted(5, 0, 4, 6), 1);
+        assert_eq!(p.blocks_wanted(5, 1, 4, 6), 0, "in-flight counts");
+        assert_eq!(p.blocks_wanted(3, 0, 4, 6), 3);
+    }
+
+    #[test]
+    fn lazy_policy_waits_for_the_threshold() {
+        let p = RepairPolicy::Lazy { margin: 0 };
+        assert_eq!(p.blocks_wanted(5, 0, 4, 6), 0, "above threshold: wait");
+        assert_eq!(p.blocks_wanted(4, 0, 4, 6), 2, "at threshold: full top-up");
+        assert_eq!(p.blocks_wanted(3, 0, 4, 6), 3);
+        assert_eq!(p.blocks_wanted(4, 2, 4, 6), 0, "in-flight counts");
+        let p1 = RepairPolicy::Lazy { margin: 1 };
+        assert_eq!(p1.blocks_wanted(5, 0, 4, 6), 1, "margin 1 repairs earlier");
+        assert_eq!(p1.label(), "lazy(k=1)");
+        assert_eq!(RepairPolicy::Eager.label(), "eager");
+    }
+}

@@ -1,0 +1,711 @@
+//! The continuous-time maintenance engine.
+//!
+//! Drives a stored deployment through churn on the shared
+//! [`peerstripe_sim::EventQueue`]: nodes depart and return on sampled
+//! session/downtime lengths, the [`FailureDetector`] turns long absences into
+//! permanent-death declarations, and the [`RepairScheduler`] regenerates the
+//! declared-lost blocks under per-node bandwidth budgets, placing them through
+//! the overlay placement path.  Availability (live blocks above the decode
+//! threshold) and durability (registered blocks above it) are tracked
+//! incrementally per event, so a 10 000-node run costs O(blocks touched) per
+//! event rather than a scan per sample.
+
+use crate::config::{ChurnProcess, RepairConfig};
+use crate::detector::FailureDetector;
+use crate::scheduler::RepairScheduler;
+use peerstripe_core::{
+    DamageLedger, MaintenanceMetrics, MaintenanceSample, ManifestStore, StorageCluster,
+};
+use peerstripe_overlay::{Id, NodeRef};
+use peerstripe_sim::{ByteSize, DetRng, EventQueue, SimTime};
+
+/// Events the maintenance engine processes.
+#[derive(Debug, Clone)]
+pub enum MaintenanceEvent {
+    /// A node leaves the overlay (transient or permanent; nobody knows yet).
+    Depart(NodeRef),
+    /// A transiently departed node returns.
+    Return(NodeRef),
+    /// The failure detector's permanence timeout expires for a node.
+    DeclareDead {
+        /// The absent node.
+        node: NodeRef,
+        /// The down generation the declaration belongs to (stale ones are
+        /// ignored — the node returned in the meantime).
+        generation: u64,
+    },
+    /// A scheduled regeneration finishes its transfers.
+    RepairDone {
+        /// The repaired chunk.
+        chunk: u32,
+        /// Where the rebuilt blocks land.
+        placements: Vec<(NodeRef, ByteSize)>,
+        /// Network bytes the repair moved.
+        traffic: ByteSize,
+    },
+    /// Re-attempt a repair that was deferred (not enough live decode sources
+    /// or placement targets at the time).
+    RetryRepair(u32),
+    /// Periodic availability/durability sample.
+    Sample,
+}
+
+/// Aggregate outcome of a maintenance run.
+#[derive(Debug, Clone)]
+pub struct MaintenanceReport {
+    /// Virtual time the engine has reached.
+    pub sim_time: SimTime,
+    /// Events processed.
+    pub events: u64,
+    /// Files tracked.
+    pub files_total: u64,
+    /// Files permanently lost.
+    pub files_lost: u64,
+    /// Files unavailable at the end of the run.
+    pub files_unavailable: u64,
+    /// Mean sampled availability percentage.
+    pub availability_mean_pct: f64,
+    /// Lowest sampled availability percentage.
+    pub availability_min_pct: f64,
+    /// Total repair traffic.
+    pub repair_bytes: ByteSize,
+    /// Individual blocks regenerated.
+    pub blocks_regenerated: u64,
+    /// User bytes under maintenance.
+    pub useful_bytes: ByteSize,
+    /// Repair traffic per useful byte protected.
+    pub repair_per_useful_byte: f64,
+    /// Permanent departures drawn by the churn process.
+    pub permanent_failures: u64,
+    /// Transient departures drawn by the churn process.
+    pub transient_departures: u64,
+    /// Nodes declared dead that later returned.
+    pub false_declarations: u64,
+}
+
+/// The event-driven churn & repair engine.
+pub struct MaintenanceEngine {
+    cluster: StorageCluster,
+    ledger: DamageLedger,
+    queue: EventQueue<MaintenanceEvent>,
+    detector: FailureDetector,
+    scheduler: RepairScheduler,
+    churn: ChurnProcess,
+    sample_period: SimTime,
+    rng: DetRng,
+    // Per chunk, indexed like the ledger.
+    alive_blocks: Vec<u32>,
+    in_flight: Vec<u32>,
+    target_blocks: Vec<u32>,
+    block_size: Vec<ByteSize>,
+    retry_pending: Vec<bool>,
+    // Per file.
+    file_failed_chunks: Vec<u32>,
+    file_lost_chunks: Vec<u32>,
+    files_unavailable: u64,
+    // Per node.
+    permanent: Vec<bool>,
+    declared: Vec<bool>,
+    metrics: MaintenanceMetrics,
+    horizon: SimTime,
+}
+
+impl MaintenanceEngine {
+    /// Build the engine over a loaded deployment.
+    ///
+    /// `cluster` and `manifests` describe the system at time zero (every node
+    /// up); `seed` makes the whole run — churn draws, permanence coin flips,
+    /// placement probes — reproducible.
+    pub fn new(
+        cluster: StorageCluster,
+        manifests: &ManifestStore,
+        churn: ChurnProcess,
+        config: RepairConfig,
+        seed: u64,
+    ) -> Self {
+        let ledger = DamageLedger::build(manifests);
+        let nodes = cluster.node_count();
+        let chunks = ledger.chunk_count();
+        let mut alive_blocks = Vec::with_capacity(chunks);
+        let mut target_blocks = Vec::with_capacity(chunks);
+        let mut block_size = Vec::with_capacity(chunks);
+        for c in 0..chunks as u32 {
+            let blocks = ledger.blocks(c);
+            alive_blocks.push(blocks.len() as u32);
+            target_blocks.push(blocks.len() as u32);
+            block_size.push(
+                blocks
+                    .first()
+                    .map(|(_, s)| *s)
+                    .unwrap_or_else(|| ByteSize::bytes(1)),
+            );
+        }
+        let mut rng = DetRng::new(seed).fork("maintenance");
+        let mut engine = MaintenanceEngine {
+            detector: FailureDetector::new(nodes, config.detector),
+            scheduler: RepairScheduler::new(nodes, config.bandwidth, config.policy),
+            sample_period: SimTime::from_secs_f64(config.sample_period_secs),
+            queue: EventQueue::new(),
+            file_failed_chunks: vec![0; ledger.file_count()],
+            file_lost_chunks: vec![0; ledger.file_count()],
+            files_unavailable: 0,
+            in_flight: vec![0; chunks],
+            retry_pending: vec![false; chunks],
+            permanent: vec![false; nodes],
+            declared: vec![false; nodes],
+            metrics: MaintenanceMetrics::new(),
+            horizon: SimTime::ZERO,
+            cluster,
+            ledger,
+            churn,
+            alive_blocks,
+            target_blocks,
+            block_size,
+            rng: rng.fork("engine"),
+        };
+        // Every node starts up, already partway through a session: the first
+        // departure lands at a uniformly random *residual* of a sampled
+        // session length, so time zero is a steady-state snapshot rather than
+        // a synchronised wave of fresh sessions all expiring together.
+        for node in 0..nodes {
+            let session = engine.churn.sessions.sample_session(&mut rng);
+            let residual = session * rng.next_f64();
+            engine.queue.schedule_at(
+                SimTime::from_secs_f64(residual),
+                MaintenanceEvent::Depart(node),
+            );
+        }
+        engine
+            .queue
+            .schedule_at(engine.sample_period, MaintenanceEvent::Sample);
+        engine
+    }
+
+    /// Advance the simulation by `duration` of virtual time.
+    pub fn run_for(&mut self, duration: SimTime) {
+        self.horizon += duration;
+        let deadline = self.horizon;
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.run_until(deadline, |q, now, event| self.handle(q, now, event));
+        self.queue = queue;
+    }
+
+    /// The metrics accumulated so far.
+    pub fn metrics(&self) -> &MaintenanceMetrics {
+        &self.metrics
+    }
+
+    /// The block ledger (current placements and losses).
+    pub fn ledger(&self) -> &DamageLedger {
+        &self.ledger
+    }
+
+    /// The cluster under maintenance.
+    pub fn cluster(&self) -> &StorageCluster {
+        &self.cluster
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Files currently unavailable.
+    pub fn files_unavailable(&self) -> u64 {
+        self.files_unavailable
+    }
+
+    /// Summarise the run.
+    pub fn report(&self) -> MaintenanceReport {
+        let useful = self.ledger.tracked_bytes();
+        MaintenanceReport {
+            sim_time: self.queue.now(),
+            events: self.queue.processed(),
+            files_total: self.ledger.file_count() as u64,
+            files_lost: self.metrics.files_lost,
+            files_unavailable: self.files_unavailable,
+            availability_mean_pct: self.metrics.mean_availability_pct(),
+            availability_min_pct: self.metrics.min_availability_pct(),
+            repair_bytes: self.metrics.repair_bytes,
+            blocks_regenerated: self.metrics.blocks_regenerated,
+            useful_bytes: useful,
+            repair_per_useful_byte: self.metrics.repair_bytes_per_useful_byte(useful),
+            permanent_failures: self.metrics.permanent_failures,
+            transient_departures: self.metrics.transient_departures,
+            false_declarations: self.metrics.false_declarations,
+        }
+    }
+
+    fn handle(
+        &mut self,
+        q: &mut EventQueue<MaintenanceEvent>,
+        now: SimTime,
+        event: MaintenanceEvent,
+    ) {
+        match event {
+            MaintenanceEvent::Depart(node) => self.on_depart(q, now, node),
+            MaintenanceEvent::Return(node) => self.on_return(q, now, node),
+            MaintenanceEvent::DeclareDead { node, generation } => {
+                self.on_declare(q, now, node, generation)
+            }
+            MaintenanceEvent::RepairDone {
+                chunk,
+                placements,
+                traffic,
+            } => self.on_repair_done(q, now, chunk, placements, traffic),
+            MaintenanceEvent::RetryRepair(chunk) => {
+                self.retry_pending[chunk as usize] = false;
+                self.maybe_repair(q, now, chunk);
+            }
+            MaintenanceEvent::Sample => self.on_sample(q, now),
+        }
+    }
+
+    fn on_depart(&mut self, q: &mut EventQueue<MaintenanceEvent>, now: SimTime, node: NodeRef) {
+        if !self.cluster.overlay().is_alive(node) {
+            return;
+        }
+        self.cluster.fail_node(node);
+        if self.rng.next_f64() < self.churn.permanent_fraction {
+            // The disk is gone; the node never returns.
+            self.permanent[node] = true;
+            self.metrics.permanent_failures += 1;
+        } else {
+            self.metrics.transient_departures += 1;
+            let downtime = self.churn.sessions.sample_downtime(&mut self.rng);
+            q.schedule_after(
+                SimTime::from_secs_f64(downtime),
+                MaintenanceEvent::Return(node),
+            );
+        }
+        for chunk in self.ledger.chunks_on(node).to_vec() {
+            self.chunk_block_down(chunk);
+        }
+        let pending = self.detector.node_down(node, now);
+        q.schedule_at(
+            pending.declare_at,
+            MaintenanceEvent::DeclareDead {
+                node,
+                generation: pending.generation,
+            },
+        );
+    }
+
+    fn on_return(&mut self, q: &mut EventQueue<MaintenanceEvent>, now: SimTime, node: NodeRef) {
+        if self.permanent[node] || self.cluster.overlay().is_alive(node) {
+            return;
+        }
+        self.cluster.overlay_mut().rejoin(node);
+        self.detector.node_up(node);
+        if self.declared[node] {
+            // Falsely written off: the node is back, but its blocks were
+            // already deregistered (and possibly re-created elsewhere), so it
+            // rejoins as an empty contributor — including its capacity
+            // accounting, or the orphaned objects would pin space forever and
+            // starve placement on exactly the nodes that churn the most.
+            self.cluster.node_mut(node).wipe();
+            self.declared[node] = false;
+            self.metrics.false_declarations += 1;
+        } else {
+            let chunks = self.ledger.chunks_on(node).to_vec();
+            for &chunk in &chunks {
+                self.chunk_block_up(chunk);
+            }
+            // Redundancy (and decode sources) came back: deferred repairs of
+            // the chunks this node participates in may be able to run now.
+            let mut seen = std::collections::HashSet::new();
+            for chunk in chunks {
+                if seen.insert(chunk) {
+                    self.maybe_repair(q, now, chunk);
+                }
+            }
+        }
+        let session = self.churn.sessions.sample_session(&mut self.rng);
+        q.schedule_after(
+            SimTime::from_secs_f64(session),
+            MaintenanceEvent::Depart(node),
+        );
+    }
+
+    fn on_declare(
+        &mut self,
+        q: &mut EventQueue<MaintenanceEvent>,
+        now: SimTime,
+        node: NodeRef,
+        generation: u64,
+    ) {
+        if !self.detector.confirm(node, generation) {
+            return;
+        }
+        self.declared[node] = true;
+        for loss in self.ledger.remove_node(node) {
+            if loss.survivors < self.ledger.needed(loss.chunk) {
+                self.write_off(loss.chunk);
+            } else {
+                self.maybe_repair(q, now, loss.chunk);
+            }
+        }
+    }
+
+    fn on_repair_done(
+        &mut self,
+        q: &mut EventQueue<MaintenanceEvent>,
+        now: SimTime,
+        chunk: u32,
+        placements: Vec<(NodeRef, ByteSize)>,
+        traffic: ByteSize,
+    ) {
+        let blocks = placements.len() as u64;
+        self.scheduler.complete(blocks);
+        let ci = chunk as usize;
+        self.in_flight[ci] = self.in_flight[ci].saturating_sub(blocks as u32);
+        let mut placed = 0u64;
+        if !self.ledger.is_lost(chunk) {
+            for (node, size) in placements {
+                // The target must still be alive and still have the space it
+                // had at scheduling time; the reservation charges its capacity
+                // so future can_store probes see regenerated blocks.
+                if self.cluster.overlay().is_alive(node)
+                    && self.cluster.node_mut(node).reserve(size).is_ok()
+                {
+                    self.ledger.place_block(chunk, node, size);
+                    self.chunk_block_up(chunk);
+                    placed += 1;
+                } else {
+                    self.metrics.repairs_dropped += 1;
+                }
+            }
+        } else {
+            self.metrics.repairs_dropped += blocks;
+        }
+        // The transfers happened whether or not every placement stuck.
+        self.metrics.record_repair(traffic, placed);
+        if !self.ledger.is_lost(chunk) {
+            self.maybe_repair(q, now, chunk);
+        }
+    }
+
+    fn on_sample(&mut self, q: &mut EventQueue<MaintenanceEvent>, now: SimTime) {
+        self.metrics.record_sample(
+            MaintenanceSample {
+                at: now,
+                files_unavailable: self.files_unavailable,
+                files_lost: self.metrics.files_lost,
+                repair_bytes: self.metrics.repair_bytes,
+                repairs_in_flight: self.scheduler.in_flight(),
+            },
+            self.ledger.file_count() as u64,
+        );
+        q.schedule_after(self.sample_period, MaintenanceEvent::Sample);
+    }
+
+    /// Decide whether (and how much) to regenerate for `chunk`, and charge the
+    /// transfers.  Defers silently when decode sources or placement targets are
+    /// not currently available — the next return/declaration/completion event
+    /// touching the chunk retries.
+    fn maybe_repair(&mut self, q: &mut EventQueue<MaintenanceEvent>, now: SimTime, chunk: u32) {
+        let ci = chunk as usize;
+        if self.ledger.is_lost(chunk) {
+            return;
+        }
+        let needed = self.ledger.needed(chunk);
+        let placed = self.ledger.blocks(chunk).len();
+        let want = self.scheduler.policy().blocks_wanted(
+            placed,
+            self.in_flight[ci] as usize,
+            needed,
+            self.target_blocks[ci] as usize,
+        );
+        if want == 0 {
+            return;
+        }
+        // Decode sources: `needed` distinct live holders of the chunk's blocks.
+        let mut sources: Vec<NodeRef> = Vec::with_capacity(needed);
+        for (node, _) in self.ledger.blocks(chunk) {
+            if self.cluster.overlay().is_alive(*node) && !sources.contains(node) {
+                sources.push(*node);
+                if sources.len() == needed {
+                    break;
+                }
+            }
+        }
+        if sources.len() < needed {
+            // Not decodable right now: retry at the next probe boundary (a
+            // holder returning earlier also retries).
+            self.schedule_retry(q, chunk);
+            return;
+        }
+        // Placement targets through the overlay placement path: random-key
+        // probes to live nodes with space that do not already hold a block of
+        // this chunk (keeping the failure independence of the original spread).
+        let size = self.block_size[ci];
+        let mut targets: Vec<NodeRef> = Vec::with_capacity(want);
+        let holders: Vec<NodeRef> = self.ledger.blocks(chunk).iter().map(|(n, _)| *n).collect();
+        let mut attempts = 0;
+        while targets.len() < want && attempts < want * 8 {
+            attempts += 1;
+            let Some(candidate) = self
+                .cluster
+                .overlay()
+                .route_quiet(Id::random(&mut self.rng))
+            else {
+                break;
+            };
+            if self.cluster.node(candidate).can_store(size)
+                && !holders.contains(&candidate)
+                && !targets.contains(&candidate)
+            {
+                targets.push(candidate);
+            }
+        }
+        if targets.is_empty() {
+            self.schedule_retry(q, chunk);
+            return;
+        }
+        let plan = self
+            .scheduler
+            .schedule(chunk, size, &sources, &targets, now);
+        self.in_flight[ci] += plan.placements.len() as u32;
+        q.schedule_at(
+            plan.done_at,
+            MaintenanceEvent::RepairDone {
+                chunk,
+                placements: plan.placements,
+                traffic: plan.traffic,
+            },
+        );
+    }
+
+    /// Queue a deferred-repair retry for `chunk` one probe period out (at most
+    /// one pending retry per chunk, so deferrals cannot flood the queue).
+    fn schedule_retry(&mut self, q: &mut EventQueue<MaintenanceEvent>, chunk: u32) {
+        let ci = chunk as usize;
+        if self.retry_pending[ci] {
+            return;
+        }
+        self.retry_pending[ci] = true;
+        let period = SimTime::from_secs_f64(self.detector.config().probe_period_secs.max(60.0));
+        q.schedule_after(period, MaintenanceEvent::RetryRepair(chunk));
+    }
+
+    /// A block of `chunk` went offline (its holder departed).
+    fn chunk_block_down(&mut self, chunk: u32) {
+        let ci = chunk as usize;
+        if self.ledger.is_lost(chunk) {
+            return;
+        }
+        let needed = self.ledger.needed(chunk) as u32;
+        let was_ok = self.alive_blocks[ci] >= needed;
+        self.alive_blocks[ci] = self.alive_blocks[ci].saturating_sub(1);
+        if was_ok && self.alive_blocks[ci] < needed {
+            let fi = self.ledger.file_of(chunk) as usize;
+            self.file_failed_chunks[fi] += 1;
+            if self.file_failed_chunks[fi] == 1 {
+                self.files_unavailable += 1;
+            }
+        }
+    }
+
+    /// A block of `chunk` came (back) online.
+    fn chunk_block_up(&mut self, chunk: u32) {
+        let ci = chunk as usize;
+        if self.ledger.is_lost(chunk) {
+            return;
+        }
+        let needed = self.ledger.needed(chunk) as u32;
+        let was_ok = self.alive_blocks[ci] >= needed;
+        self.alive_blocks[ci] += 1;
+        if !was_ok && self.alive_blocks[ci] >= needed {
+            let fi = self.ledger.file_of(chunk) as usize;
+            self.file_failed_chunks[fi] = self.file_failed_chunks[fi].saturating_sub(1);
+            if self.file_failed_chunks[fi] == 0 {
+                self.files_unavailable = self.files_unavailable.saturating_sub(1);
+            }
+        }
+    }
+
+    /// `chunk` fell below its decode threshold with its lost blocks written
+    /// off: the data is gone for good.
+    fn write_off(&mut self, chunk: u32) {
+        if self.ledger.is_lost(chunk) {
+            return;
+        }
+        self.ledger.mark_lost(chunk);
+        let fi = self.ledger.file_of(chunk) as usize;
+        self.file_lost_chunks[fi] += 1;
+        self.metrics.record_loss(
+            self.ledger.chunk_size(chunk),
+            self.file_lost_chunks[fi] == 1,
+        );
+        // A lost chunk is unavailable forever; freeze it into the availability
+        // accounting (it was already below threshold — losing placed blocks
+        // implies losing live ones — so nothing to transition here).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BandwidthBudget, DetectorConfig, RepairPolicy, SessionModel};
+    use peerstripe_core::{
+        ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem,
+    };
+    use peerstripe_trace::{CapacityModel, FileRecord};
+
+    fn loaded(nodes: usize, files: usize, seed: u64) -> PeerStripe {
+        let mut rng = DetRng::new(seed);
+        let cluster = ClusterConfig {
+            nodes,
+            capacity: CapacityModel::Fixed(ByteSize::gb(2)),
+            report_fraction: 1.0,
+            track_objects: true,
+        }
+        .build(&mut rng);
+        let mut ps = PeerStripe::new(
+            cluster,
+            PeerStripeConfig::default().with_coding(CodingPolicy::online_default()),
+        );
+        for i in 0..files {
+            assert!(ps
+                .store_file(&FileRecord::new(format!("file-{i}"), ByteSize::mb(200)))
+                .is_stored());
+        }
+        ps
+    }
+
+    fn config(policy: RepairPolicy, timeout_secs: f64) -> RepairConfig {
+        RepairConfig {
+            policy,
+            detector: DetectorConfig {
+                probe_period_secs: 60.0,
+                detection_lag_secs: 10.0,
+                permanence_timeout_secs: timeout_secs,
+            },
+            bandwidth: BandwidthBudget::symmetric(ByteSize::mb(8)),
+            sample_period_secs: 1_800.0,
+        }
+    }
+
+    fn churn(permanent_fraction: f64) -> ChurnProcess {
+        ChurnProcess {
+            sessions: SessionModel::Synthetic {
+                mean_session_secs: 4.0 * 3_600.0,
+                mean_downtime_secs: 2.0 * 3_600.0,
+            },
+            permanent_fraction,
+        }
+    }
+
+    fn engine(policy: RepairPolicy, permanent_fraction: f64, seed: u64) -> MaintenanceEngine {
+        let ps = loaded(80, 60, seed);
+        let manifests = ps.manifests().clone();
+        MaintenanceEngine::new(
+            ps.into_cluster(),
+            &manifests,
+            churn(permanent_fraction),
+            // Permanence timeout well past the 2 h mean downtime, as a sanely
+            // operated deployment would set it.
+            config(policy, 12.0 * 3_600.0),
+            seed,
+        )
+    }
+
+    #[test]
+    fn pure_transient_churn_loses_nothing_without_declarations() {
+        // Permanence timeout far beyond every downtime and no permanent
+        // departures: the engine must ride out the churn with zero loss and
+        // zero repair traffic.
+        let ps = loaded(60, 40, 5);
+        let manifests = ps.manifests().clone();
+        let mut engine = MaintenanceEngine::new(
+            ps.into_cluster(),
+            &manifests,
+            churn(0.0),
+            config(RepairPolicy::Eager, 1e9),
+            5,
+        );
+        engine.run_for(SimTime::from_secs(48 * 3_600));
+        let report = engine.report();
+        assert!(report.events > 100, "churn must actually happen");
+        assert_eq!(report.files_lost, 0);
+        assert_eq!(report.repair_bytes, ByteSize::ZERO);
+        assert_eq!(report.permanent_failures, 0);
+        assert!(report.transient_departures > 0);
+        assert!(report.availability_mean_pct <= 100.0);
+        assert!(report.availability_min_pct >= 0.0);
+    }
+
+    #[test]
+    fn permanent_failures_trigger_bandwidth_charged_repairs() {
+        let mut engine = engine(RepairPolicy::Eager, 0.05, 7);
+        engine.run_for(SimTime::from_secs(48 * 3_600));
+        let report = engine.report();
+        assert!(report.permanent_failures > 0);
+        assert!(
+            report.blocks_regenerated > 0,
+            "declared losses must be repaired: {report:?}"
+        );
+        assert!(report.repair_bytes > ByteSize::ZERO);
+        assert!(report.repair_per_useful_byte > 0.0);
+        // Eager repair keeps durability high under moderate permanent churn.
+        assert!(
+            report.files_lost < report.files_total / 2,
+            "repair must save most files: {report:?}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_the_seed() {
+        let mut a = engine(RepairPolicy::Lazy { margin: 1 }, 0.05, 11);
+        let mut b = engine(RepairPolicy::Lazy { margin: 1 }, 0.05, 11);
+        a.run_for(SimTime::from_secs(24 * 3_600));
+        b.run_for(SimTime::from_secs(24 * 3_600));
+        let (ra, rb) = (a.report(), b.report());
+        assert_eq!(ra.events, rb.events);
+        assert_eq!(ra.repair_bytes, rb.repair_bytes);
+        assert_eq!(ra.files_lost, rb.files_lost);
+        assert_eq!(ra.false_declarations, rb.false_declarations);
+        assert_eq!(ra.transient_departures, rb.transient_departures);
+    }
+
+    #[test]
+    fn aggressive_timeouts_cause_false_declarations() {
+        // A 5-minute permanence timeout against multi-hour downtimes: nearly
+        // every transient departure is falsely declared dead.
+        let ps = loaded(60, 40, 13);
+        let manifests = ps.manifests().clone();
+        let mut engine = MaintenanceEngine::new(
+            ps.into_cluster(),
+            &manifests,
+            churn(0.0),
+            config(RepairPolicy::Eager, 300.0),
+            13,
+        );
+        engine.run_for(SimTime::from_secs(48 * 3_600));
+        let report = engine.report();
+        assert!(
+            report.false_declarations > 0,
+            "short timeout must misfire: {report:?}"
+        );
+        assert!(
+            report.repair_bytes > ByteSize::ZERO,
+            "false declarations cost repair traffic"
+        );
+    }
+
+    #[test]
+    fn run_for_composes() {
+        let mut a = engine(RepairPolicy::Eager, 0.05, 17);
+        let mut b = engine(RepairPolicy::Eager, 0.05, 17);
+        a.run_for(SimTime::from_secs(36 * 3_600));
+        b.run_for(SimTime::from_secs(12 * 3_600));
+        b.run_for(SimTime::from_secs(24 * 3_600));
+        assert_eq!(a.report().events, b.report().events);
+        assert_eq!(a.report().repair_bytes, b.report().repair_bytes);
+    }
+}

@@ -1,0 +1,319 @@
+//! Regeneration executors: the byte-level end of a repair.
+//!
+//! The engine plans *when* and *where* blocks are rebuilt; the executor is the
+//! piece that actually reconstructs their payloads, by pulling the surviving
+//! codec blocks of a chunk off live nodes and running them through the
+//! matching [`ErasureCode::reencode`] entry point (XOR, online or
+//! Reed–Solomon), then re-placing them through the overlay placement path
+//! ([`RegenerationExecutor::repair_chunk`]).  Large-scale sweeps run
+//! placement-only (sizes, no bytes); byte-carrying deployments — the
+//! examples, the integration tests, a real deployment — use this to produce
+//! and place the replacement payloads.
+
+use peerstripe_core::client::{pack_payload, unpack_payload};
+use peerstripe_core::{BlockPlacement, ChunkPlacement, CodingPolicy, ObjectName, StorageCluster};
+use peerstripe_erasure::{DecodeError, EncodedBlock, ErasureCode};
+use peerstripe_sim::ByteSize;
+
+/// Rebuilds lost block payloads through a coding policy's codec.
+pub struct RegenerationExecutor {
+    codec: Box<dyn ErasureCode>,
+}
+
+impl RegenerationExecutor {
+    /// Build the executor for a coding policy, dividing each chunk into
+    /// `source_blocks` codec blocks (must match the deployment's
+    /// `data_path_blocks` so indices line up).
+    pub fn new(policy: &CodingPolicy, source_blocks: usize) -> Self {
+        RegenerationExecutor {
+            codec: policy.codec(source_blocks),
+        }
+    }
+
+    /// The codec this executor re-encodes through.
+    pub fn codec(&self) -> &dyn ErasureCode {
+        self.codec.as_ref()
+    }
+
+    /// Gather the codec blocks of `chunk` that live nodes still serve.
+    pub fn surviving_blocks(
+        &self,
+        cluster: &StorageCluster,
+        chunk: &ChunkPlacement,
+    ) -> Vec<EncodedBlock> {
+        let mut blocks = Vec::new();
+        for placement in &chunk.blocks {
+            if let Some(object) = cluster.fetch_from(placement.node, &placement.name) {
+                if let Some(payload) = &object.payload {
+                    blocks.extend(unpack_payload(payload));
+                }
+            }
+        }
+        blocks
+    }
+
+    /// Rebuild every codec block of `chunk` that no live node currently holds,
+    /// returning them packed as one replacement block-object payload (the
+    /// format [`pack_payload`] defines), or the decode error when the
+    /// survivors are insufficient — including `NotEnoughBlocks` when every
+    /// holder is gone.  `Ok(None)` means nothing is missing, or the deployment
+    /// is placement-only (live holders exist but carry no payloads).
+    pub fn rebuild_missing(
+        &self,
+        cluster: &StorageCluster,
+        chunk: &ChunkPlacement,
+    ) -> Result<Option<Vec<u8>>, DecodeError> {
+        let mut any_object = false;
+        for placement in &chunk.blocks {
+            if cluster
+                .fetch_from(placement.node, &placement.name)
+                .is_some()
+            {
+                any_object = true;
+                break;
+            }
+        }
+        let surviving = self.surviving_blocks(cluster, chunk);
+        if surviving.is_empty() {
+            // Distinguish "placement-only deployment" (objects reachable but
+            // size-only) from "every holder is dead": the latter is a loss the
+            // caller must see, not a silent no-op.
+            return if any_object {
+                Ok(None)
+            } else {
+                Err(DecodeError::NotEnoughBlocks {
+                    have: 0,
+                    need: self.codec.min_decode_blocks(),
+                })
+            };
+        }
+        let present: std::collections::HashSet<u32> = surviving.iter().map(|b| b.index).collect();
+        let missing: Vec<u32> = (0..self.codec.encoded_blocks() as u32)
+            .filter(|i| !present.contains(i))
+            .collect();
+        if missing.is_empty() {
+            return Ok(None);
+        }
+        let rebuilt = self
+            .codec
+            .reencode(&surviving, chunk.size.as_u64() as usize, &missing)?;
+        Ok(Some(pack_payload(&rebuilt)))
+    }
+
+    /// Full byte-level repair of one chunk: rebuild the missing codec blocks
+    /// from live survivors and re-place them as a fresh block object through
+    /// the overlay placement path (route the new name to a live node with
+    /// space, exactly as the client's recovery does).  Updates `chunk` with
+    /// the new placement and returns it; `Ok(None)` means nothing needed
+    /// rebuilding (or the deployment is placement-only).
+    pub fn repair_chunk(
+        &self,
+        cluster: &mut StorageCluster,
+        chunk: &mut ChunkPlacement,
+    ) -> Result<Option<BlockPlacement>, DecodeError> {
+        let Some(payload) = self.rebuild_missing(cluster, chunk)? else {
+            return Ok(None);
+        };
+        // Name the replacement with a fresh ECB number, as Section 4.4's
+        // "functionally equal" recreated block.
+        let (file, chunk_no) = chunk
+            .blocks
+            .iter()
+            .find_map(|b| match &b.name {
+                ObjectName::Block { file, chunk, .. } => Some((file.clone(), *chunk)),
+                ObjectName::Chunk { file, chunk } => Some((file.clone(), *chunk)),
+                _ => None,
+            })
+            .expect("a chunk with rebuilt blocks has at least one named block");
+        let next_ecb = chunk
+            .blocks
+            .iter()
+            .map(|b| match &b.name {
+                ObjectName::Block { ecb, .. } => *ecb + 1,
+                _ => 1,
+            })
+            .max()
+            .unwrap_or(0);
+        let name = ObjectName::block(file, chunk_no, next_ecb);
+        let size = ByteSize::bytes(payload.len() as u64);
+        let key = name.key();
+        let target = cluster
+            .overlay()
+            .route_quiet(key)
+            .filter(|n| cluster.node(*n).can_store(size));
+        let Some(node) = target else {
+            // No live node with space right now; the caller retries later.
+            return Ok(None);
+        };
+        if cluster
+            .store_object_at(node, key, name.clone(), size, Some(payload))
+            .is_err()
+        {
+            return Ok(None);
+        }
+        let placement = BlockPlacement { name, node, size };
+        chunk.blocks.push(placement.clone());
+        Ok(Some(placement))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peerstripe_core::{ClusterConfig, PeerStripe, PeerStripeConfig, StorageSystem};
+    use peerstripe_sim::{ByteSize, DetRng};
+    use peerstripe_trace::CapacityModel;
+
+    fn byte_deployment(policy: CodingPolicy, seed: u64) -> (PeerStripe, Vec<u8>) {
+        let mut rng = DetRng::new(seed);
+        let cluster = ClusterConfig {
+            nodes: 40,
+            capacity: CapacityModel::Fixed(ByteSize::mb(200)),
+            report_fraction: 1.0,
+            track_objects: true,
+        }
+        .build(&mut rng);
+        let mut ps = PeerStripe::new(cluster, PeerStripeConfig::default().with_coding(policy));
+        let data: Vec<u8> = (0..300_000).map(|_| rng.next_u32() as u8).collect();
+        assert!(ps.store_data("volume", &data).is_stored());
+        (ps, data)
+    }
+
+    #[test]
+    fn rebuilds_lost_blocks_for_every_codec() {
+        for (policy, seed) in [
+            (CodingPolicy::xor_2_3(), 1u64),
+            (CodingPolicy::online_default(), 2),
+            (CodingPolicy::rs_default(), 3),
+        ] {
+            let (mut ps, data) = byte_deployment(policy, seed);
+            let executor = RegenerationExecutor::new(&policy, ps.config().data_path_blocks);
+            // Fail a node holding a block of the first chunk.
+            let victim = ps.manifest("volume").unwrap().chunks[0].blocks[0].node;
+            ps.cluster_mut().fail_node(victim);
+            let chunk = ps.manifest("volume").unwrap().chunks[0].clone();
+            let payload = executor
+                .rebuild_missing(ps.cluster(), &chunk)
+                .unwrap_or_else(|e| panic!("{}: rebuild failed: {e}", executor.codec().name()))
+                .expect("blocks were missing");
+            // The rebuilt payload plus the survivors decode the chunk exactly.
+            let mut blocks = executor.surviving_blocks(ps.cluster(), &chunk);
+            blocks.extend(unpack_payload(&payload));
+            let decoded = executor
+                .codec()
+                .decode(&blocks, chunk.size.as_u64() as usize)
+                .unwrap();
+            let lo = 0usize;
+            let hi = chunk.size.as_u64() as usize;
+            assert_eq!(
+                decoded[..],
+                data[lo..hi],
+                "{} chunk differs",
+                policy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn nothing_missing_means_no_work() {
+        let policy = CodingPolicy::rs_default();
+        let (ps, _) = byte_deployment(policy, 4);
+        let executor = RegenerationExecutor::new(&policy, ps.config().data_path_blocks);
+        let chunk = ps.manifest("volume").unwrap().chunks[0].clone();
+        assert!(executor
+            .rebuild_missing(ps.cluster(), &chunk)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn placement_only_deployments_have_nothing_to_rebuild() {
+        let mut rng = DetRng::new(5);
+        let cluster = ClusterConfig {
+            nodes: 30,
+            capacity: CapacityModel::Fixed(ByteSize::gb(1)),
+            report_fraction: 1.0,
+            track_objects: true,
+        }
+        .build(&mut rng);
+        let policy = CodingPolicy::xor_2_3();
+        let mut ps = PeerStripe::new(cluster, PeerStripeConfig::default().with_coding(policy));
+        assert!(ps
+            .store_file(&peerstripe_trace::FileRecord::new("f", ByteSize::mb(100)))
+            .is_stored());
+        let executor = RegenerationExecutor::new(&policy, ps.config().data_path_blocks);
+        let chunk = ps.manifest("f").unwrap().chunks[0].clone();
+        assert!(executor
+            .rebuild_missing(ps.cluster(), &chunk)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn repair_chunk_replaces_lost_blocks_through_the_placement_path() {
+        let policy = CodingPolicy::xor_2_3();
+        let (mut ps, data) = byte_deployment(policy, 7);
+        let executor = RegenerationExecutor::new(&policy, ps.config().data_path_blocks);
+        let mut chunk = ps.manifest("volume").unwrap().chunks[0].clone();
+        let victim = chunk.blocks[0].node;
+        ps.cluster_mut().fail_node(victim);
+        let blocks_before = chunk.blocks.len();
+        let placement = executor
+            .repair_chunk(ps.cluster_mut(), &mut chunk)
+            .unwrap()
+            .expect("a block was missing and must be re-placed");
+        // The replacement landed on a live node, is really stored there, and
+        // carries a fresh ECB number.
+        assert!(ps.cluster().overlay().is_alive(placement.node));
+        assert!(ps.cluster().holds(placement.node, &placement.name));
+        assert_eq!(chunk.blocks.len(), blocks_before + 1);
+        // The chunk decodes bit-for-bit from its updated placement alone.
+        let blocks = executor.surviving_blocks(ps.cluster(), &chunk);
+        let decoded = executor
+            .codec()
+            .decode(&blocks, chunk.size.as_u64() as usize)
+            .unwrap();
+        assert_eq!(decoded[..], data[..chunk.size.as_u64() as usize]);
+        // Running it again finds nothing missing.
+        assert!(executor
+            .repair_chunk(ps.cluster_mut(), &mut chunk)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn losing_every_holder_is_an_error_not_a_no_op() {
+        let policy = CodingPolicy::xor_2_3();
+        let (mut ps, _) = byte_deployment(policy, 8);
+        let executor = RegenerationExecutor::new(&policy, ps.config().data_path_blocks);
+        let chunk = ps.manifest("volume").unwrap().chunks[0].clone();
+        let mut victims: Vec<_> = chunk.blocks.iter().map(|b| b.node).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        for v in victims {
+            ps.cluster_mut().fail_node(v);
+        }
+        assert!(matches!(
+            executor.rebuild_missing(ps.cluster(), &chunk),
+            Err(DecodeError::NotEnoughBlocks { have: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn insufficient_survivors_surface_the_decode_error() {
+        let policy = CodingPolicy::rs_default();
+        let (mut ps, _) = byte_deployment(policy, 6);
+        let executor = RegenerationExecutor::new(&policy, ps.config().data_path_blocks);
+        let chunk = ps.manifest("volume").unwrap().chunks[0].clone();
+        // Kill more distinct holders than the code tolerates.
+        let mut victims: Vec<_> = chunk.blocks.iter().map(|b| b.node).collect();
+        victims.sort_unstable();
+        victims.dedup();
+        victims.truncate(3);
+        assert_eq!(victims.len(), 3, "need three distinct holders");
+        for v in victims {
+            ps.cluster_mut().fail_node(v);
+        }
+        assert!(executor.rebuild_missing(ps.cluster(), &chunk).is_err());
+    }
+}

@@ -13,6 +13,8 @@
 //!   formatting, used for every capacity, file size, and transfer amount.
 //! * [`event`] — a discrete-event queue with virtual time, used by the multicast
 //!   and desktop-grid simulators.
+//! * [`rate`] — FIFO bandwidth budgets over virtual time, used by the repair
+//!   subsystem to make concurrent regenerations queue and interfere.
 //! * [`stats`] — online statistics (Welford), histograms, x/y series and formatted
 //!   tables used to report the paper's figures and tables.
 //!
@@ -24,10 +26,12 @@
 pub mod bytesize;
 pub mod dist;
 pub mod event;
+pub mod rate;
 pub mod rng;
 pub mod stats;
 
 pub use bytesize::ByteSize;
 pub use event::{EventQueue, SimTime};
+pub use rate::{RateLimiter, Reservation};
 pub use rng::DetRng;
 pub use stats::{OnlineStats, Series, TableBuilder};

@@ -9,13 +9,17 @@
 //!
 //! * [`filetrace`] — [`TraceConfig`]/[`Trace`] generation, statistics, JSON
 //!   import/export;
-//! * [`capacity`] — [`CapacityModel`] for per-node contributed storage.
+//! * [`capacity`] — [`CapacityModel`] for per-node contributed storage;
+//! * [`sessions`] — [`SessionTrace`] empirical session/downtime durations for
+//!   the repair subsystem's trace-derived churn mode.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod capacity;
 pub mod filetrace;
+pub mod sessions;
 
 pub use capacity::{total_capacity, CapacityModel};
 pub use filetrace::{FileRecord, Trace, TraceConfig, TraceStats};
+pub use sessions::SessionTrace;

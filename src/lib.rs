@@ -43,5 +43,6 @@ pub use peerstripe_experiments as experiments;
 pub use peerstripe_gridsim as gridsim;
 pub use peerstripe_multicast as multicast;
 pub use peerstripe_overlay as overlay;
+pub use peerstripe_repair as repair;
 pub use peerstripe_sim as sim;
 pub use peerstripe_trace as trace;

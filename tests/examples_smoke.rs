@@ -99,3 +99,21 @@ fn repro_table2_and_rs_sweep_at_small_scale() {
         "RS must recover from every minimal subset:\n{sweep}"
     );
 }
+
+/// The continuous-churn repair sweep keeps producing its report through the
+/// `repro` dispatch: every swept policy appears, and the headline eager-vs-lazy
+/// comparison lines are rendered.  This is the same code path
+/// `repro repair-sweep --scale small` (run in CI as part of `repro all`) takes.
+#[test]
+fn repro_repair_sweep_at_small_scale() {
+    let report = run_experiment("repair-sweep", Scale::Small, 42)
+        .expect("repair-sweep is a known experiment");
+    assert!(report.contains("Repair sweep"), "report:\n{report}");
+    for needle in ["eager", "lazy(k=0)", "lazy(k=2)", "vs eager @ timeout"] {
+        assert!(report.contains(needle), "missing '{needle}':\n{report}");
+    }
+    assert!(
+        report.contains("Repair/useful"),
+        "maintenance-bill column missing:\n{report}"
+    );
+}

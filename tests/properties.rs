@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the public API: invariants that must
 //! hold for arbitrary inputs, not just the hand-picked cases of the unit tests.
 
+use peerstripe::core::churn::{AvailabilityTracker, RegenerationSim};
 use peerstripe::core::{
     ChunkAllocationTable, ClusterConfig, CodingPolicy, ObjectName, PeerStripe, PeerStripeConfig,
     StorageSystem,
@@ -267,6 +268,104 @@ proptest! {
         let expected_end = (offset + len).min(data.len() as u64) as usize;
         let expected = &data[offset.min(data.len() as u64) as usize..expected_end];
         prop_assert_eq!(ps.retrieve_range_data("payload", offset, len).unwrap(), expected.to_vec());
+    }
+
+    /// Under arbitrary failure sequences, the regeneration simulation conserves
+    /// its tracked bytes, its per-failure accounts sum to consistent totals,
+    /// and losses never exceed what was tracked.
+    #[test]
+    fn regeneration_conserves_tracked_bytes(
+        failure_seed in any::<u64>(),
+        fail_count in 1usize..30,
+    ) {
+        let mut rng = DetRng::new(91);
+        let cluster = ClusterConfig {
+            nodes: 60,
+            capacity: CapacityModel::Fixed(ByteSize::gb(2)),
+            report_fraction: 1.0,
+            track_objects: true,
+        }
+        .build(&mut rng);
+        let mut ps = PeerStripe::new(
+            cluster,
+            PeerStripeConfig::default().with_coding(CodingPolicy::online_default()),
+        );
+        for i in 0..30 {
+            prop_assert!(ps
+                .store_file(&FileRecord::new(format!("f{i}"), ByteSize::mb(200)))
+                .is_stored());
+        }
+        let mut sim = RegenerationSim::build(ps.manifests(), ByteSize::mb(256), 30.0);
+        let tracked_before = sim.tracked_bytes();
+        let mut fail_rng = DetRng::new(failure_seed);
+        let mut total_lost = ByteSize::ZERO;
+        let mut total_regen = ByteSize::ZERO;
+        for _ in 0..fail_count {
+            let Some(node) = ps.cluster().overlay().random_alive(&mut fail_rng) else {
+                break;
+            };
+            ps.cluster_mut().fail_node(node);
+            let account = sim.fail_node(node, ps.cluster_mut(), &mut fail_rng);
+            total_lost += account.lost;
+            total_regen += account.regenerated;
+            // Tracked user bytes are conserved: failures write chunks off but
+            // never change what the ledger covers.
+            prop_assert_eq!(sim.tracked_bytes(), tracked_before);
+            prop_assert!(total_lost <= tracked_before);
+        }
+        // Every regenerated block landed in the ledger on some node.
+        let ledger = sim.ledger();
+        let mut lost_ledger = ByteSize::ZERO;
+        for chunk in 0..ledger.chunk_count() as u32 {
+            if ledger.is_lost(chunk) {
+                lost_ledger += ledger.chunk_size(chunk);
+            }
+        }
+        prop_assert_eq!(lost_ledger, total_lost);
+    }
+
+    /// The availability tracker's unavailable percentage stays inside [0, 100]
+    /// and never decreases under arbitrary failure sequences (including
+    /// repeated and unknown node references).
+    #[test]
+    fn unavailable_pct_is_bounded_and_monotone(
+        failures in proptest::collection::vec(any::<u16>(), 1..60),
+    ) {
+        let mut rng = DetRng::new(92);
+        let cluster = ClusterConfig {
+            nodes: 50,
+            capacity: CapacityModel::Fixed(ByteSize::gb(1)),
+            report_fraction: 1.0,
+            track_objects: true,
+        }
+        .build(&mut rng);
+        let mut ps = PeerStripe::new(
+            cluster,
+            PeerStripeConfig::default().with_coding(CodingPolicy::xor_2_3()),
+        );
+        for i in 0..20 {
+            prop_assert!(ps
+                .store_file(&FileRecord::new(format!("f{i}"), ByteSize::mb(150)))
+                .is_stored());
+        }
+        let mut tracker = AvailabilityTracker::build(ps.manifests());
+        let sizes = AvailabilityTracker::file_sizes(ps.manifests());
+        let mut last_pct = tracker.unavailable_pct();
+        prop_assert_eq!(last_pct, 0.0);
+        for f in failures {
+            // Arbitrary node references: in-range ones fail real nodes
+            // (possibly repeatedly), out-of-range ones must be no-ops.
+            let node = f as usize;
+            if node < ps.cluster().node_count() {
+                ps.cluster_mut().fail_node(node);
+            }
+            tracker.fail_node(node, &sizes);
+            let pct = tracker.unavailable_pct();
+            prop_assert!((0.0..=100.0).contains(&pct), "pct {pct}");
+            prop_assert!(pct >= last_pct - 1e-12, "pct must not decrease");
+            prop_assert!(tracker.files_unavailable() <= tracker.files_total());
+            last_pct = pct;
+        }
     }
 
     /// Storing arbitrary file sizes never loses accounting: placed bytes are at
