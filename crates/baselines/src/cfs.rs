@@ -144,6 +144,7 @@ impl StorageSystem for Cfs {
                             name: name.clone(),
                             node,
                             size: this_block,
+                            domain: None,
                         });
                     } else if i == 0 {
                         placed.clear();

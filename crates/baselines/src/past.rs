@@ -101,6 +101,7 @@ impl StorageSystem for Past {
                         name: name.clone(),
                         node,
                         size: file.size,
+                        domain: None,
                     });
                 } else if i == 0 {
                     // The primary itself refused (space consumed since the

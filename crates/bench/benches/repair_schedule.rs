@@ -50,6 +50,7 @@ fn engine_of(
             mean_downtime_secs: 4.0 * 3_600.0,
         },
         permanent_fraction: 0.01,
+        grouped: None,
     };
     let config = RepairConfig {
         policy: RepairPolicy::Eager,

@@ -27,8 +27,9 @@ use crate::system::{
     BlockPlacement, ChunkPlacement, FileManifest, ManifestStore, StorageSystem, StoreOutcome,
 };
 use peerstripe_erasure::EncodedBlock;
-use peerstripe_overlay::{NodeRef, Takeover};
-use peerstripe_sim::ByteSize;
+use peerstripe_overlay::{Id, NodeRef, Takeover};
+use peerstripe_placement::{OverlayRandom, PlacementStrategy, RepairRequest, Topology};
+use peerstripe_sim::{ByteSize, DetRng};
 use peerstripe_trace::FileRecord;
 use serde::{Deserialize, Serialize};
 
@@ -105,22 +106,67 @@ pub struct PeerStripe {
     config: PeerStripeConfig,
     manifests: ManifestStore,
     metrics: StoreMetrics,
+    placement: Box<dyn PlacementStrategy>,
+    topology: Option<Topology>,
 }
 
 impl PeerStripe {
-    /// Create a PeerStripe instance over an existing cluster.
+    /// Create a PeerStripe instance over an existing cluster, placing blocks
+    /// through the classic overlay routing (the paper's behaviour).
     pub fn new(cluster: StorageCluster, config: PeerStripeConfig) -> Self {
+        Self::with_placement(cluster, config, Box::new(OverlayRandom::new()), None)
+    }
+
+    /// Create a PeerStripe instance with an explicit placement strategy and
+    /// (optionally) the failure-domain topology it consults.  Domain-aware
+    /// strategies cap each chunk at the coding policy's tolerable losses per
+    /// domain, and every placed block's domain is recorded in the manifest.
+    pub fn with_placement(
+        cluster: StorageCluster,
+        config: PeerStripeConfig,
+        placement: Box<dyn PlacementStrategy>,
+        topology: Option<Topology>,
+    ) -> Self {
         PeerStripe {
             cluster,
             config,
             manifests: ManifestStore::new(),
             metrics: StoreMetrics::new(),
+            placement,
+            topology,
         }
     }
 
     /// The instance's configuration.
     pub fn config(&self) -> &PeerStripeConfig {
         &self.config
+    }
+
+    /// The failure-domain topology placement consults, if any.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// The name of the placement strategy in use.
+    pub fn placement_name(&self) -> &'static str {
+        self.placement.name()
+    }
+
+    /// The per-domain block cap placement enforces for each chunk: with a
+    /// topology, a single failure domain may never hold more blocks of a
+    /// chunk than the coding policy tolerates losing (so losing a whole
+    /// domain can never make the chunk unrecoverable).
+    pub fn domain_cap(&self) -> usize {
+        if self.topology.is_some() {
+            self.config.coding.tolerable_losses().max(1)
+        } else {
+            usize::MAX
+        }
+    }
+
+    /// The domain a node belongs to under the configured topology.
+    fn domain_of(&self, node: NodeRef) -> Option<peerstripe_placement::DomainId> {
+        self.topology.as_ref().and_then(|t| t.domain_of(node))
     }
 
     /// Consume the system and return its cluster (for re-use between phases).
@@ -139,10 +185,14 @@ impl PeerStripe {
         }
     }
 
-    /// Probe the target nodes of the next chunk's blocks and derive the chunk size.
+    /// Select the target nodes of the next chunk's blocks through the
+    /// placement strategy and derive the chunk size from their capacity
+    /// reports.
     ///
-    /// Returns the probed `(name, node)` pairs and the achievable chunk size,
-    /// which is zero when any probed node reports no space.
+    /// Returns the selected `(name, node)` pairs and the achievable chunk
+    /// size, which is zero when any selected node reports no space — or when
+    /// the strategy refuses the chunk outright (e.g. domain-aware placement
+    /// cannot satisfy its spread constraint right now).
     fn plan_chunk(
         &mut self,
         file: &str,
@@ -150,17 +200,23 @@ impl PeerStripe {
         remaining: ByteSize,
     ) -> (Vec<(ObjectName, NodeRef)>, ByteSize) {
         let m = self.config.coding.placed_blocks();
-        let mut targets = Vec::with_capacity(m);
+        let names: Vec<ObjectName> = (0..m as u32)
+            .map(|ecb| self.block_name(file, chunk, ecb))
+            .collect();
+        let keys: Vec<Id> = names.iter().map(ObjectName::key).collect();
+        let cap = self.domain_cap();
+        let Some(picks) =
+            self.placement
+                .plan_chunk(&mut self.cluster, self.topology.as_ref(), &keys, cap)
+        else {
+            return (Vec::new(), ByteSize::ZERO);
+        };
+        debug_assert_eq!(picks.len(), names.len());
         let mut min_report = ByteSize(u64::MAX);
-        for ecb in 0..m as u32 {
-            let name = self.block_name(file, chunk, ecb);
-            match self.cluster.get_capacity(name.key()) {
-                Some((node, report)) => {
-                    min_report = min_report.min(report);
-                    targets.push((name, node));
-                }
-                None => return (Vec::new(), ByteSize::ZERO),
-            }
+        let mut targets = Vec::with_capacity(m);
+        for (name, (node, report)) in names.into_iter().zip(picks) {
+            min_report = min_report.min(report);
+            targets.push((name, node));
         }
         let mut chunk_size = self.config.coding.chunk_size_for_report(min_report);
         if let Some(cap) = self.config.max_chunk_size {
@@ -195,6 +251,7 @@ impl PeerStripe {
                     name: name.clone(),
                     node: *node,
                     size,
+                    domain: self.domain_of(*node),
                 }),
                 Err(_) => {
                     // Roll back the blocks already placed for this chunk.
@@ -490,14 +547,42 @@ impl PeerStripe {
                 .as_ref()
                 .map(|p| ByteSize::bytes(p.len() as u64))
                 .unwrap_or(size);
-            // Prefer the inheritor of the failed key space; fall back to routing.
+            // A rebuilt block must never collocate with a live block of its
+            // own chunk — landing on an existing holder would silently shrink
+            // the chunk's failure tolerance.
+            let holders: Vec<NodeRef> = self
+                .manifests
+                .get(&file)
+                .and_then(|m| m.chunks.iter().find(|c| c.chunk == chunk_no))
+                .map(|c| {
+                    c.blocks
+                        .iter()
+                        .map(|b| b.node)
+                        .filter(|&n| self.cluster.overlay().is_alive(n))
+                        .collect()
+                })
+                .unwrap_or_default();
+            // Prefer the inheritor of the failed key space; fall back to the
+            // placement strategy (which applies the same exclusion, plus any
+            // domain constraints).
             let inheritor = takeover.inheritor_of(name.key()).1;
             let target = if self.cluster.node(inheritor).can_store(size)
                 && self.cluster.overlay().is_alive(inheritor)
+                && !holders.contains(&inheritor)
             {
                 Some(inheritor)
             } else {
-                self.cluster.overlay_mut().route(name.key())
+                let mut rng = DetRng::new(name.key().seed());
+                let request = RepairRequest {
+                    want: 1,
+                    size,
+                    holders: &holders,
+                    domain_cap: self.domain_cap(),
+                };
+                self.placement
+                    .repair_targets(&self.cluster, self.topology.as_ref(), &request, &mut rng)
+                    .into_iter()
+                    .next()
             };
             if let Some(node) = target {
                 if self
@@ -507,9 +592,15 @@ impl PeerStripe {
                 {
                     report.blocks_regenerated += 1;
                     report.bytes_regenerated += size;
+                    let domain = self.domain_of(node);
                     if let Some(m) = self.manifests.get_mut(&file) {
                         if let Some(c) = m.chunks.iter_mut().find(|c| c.chunk == chunk_no) {
-                            c.blocks.push(BlockPlacement { name, node, size });
+                            c.blocks.push(BlockPlacement {
+                                name,
+                                node,
+                                size,
+                                domain,
+                            });
                             c.blocks.retain(|b| b.node != failed);
                         }
                     }
@@ -964,6 +1055,101 @@ mod tests {
             .is_stored());
         assert!(ps.is_file_available("empty"));
         assert_eq!(ps.manifest("empty").unwrap().chunks.len(), 0);
+    }
+
+    #[test]
+    fn domain_spread_respects_the_cap_and_records_domains() {
+        use peerstripe_placement::{DomainSpread, SpreadReport, Topology};
+        let topo = Topology::uniform_groups(40, 5);
+        let mut ps = PeerStripe::with_placement(
+            cluster(40, ByteSize::gb(1), 14),
+            PeerStripeConfig::default().with_coding(CodingPolicy::rs_default()),
+            Box::new(DomainSpread::new()),
+            Some(topo.clone()),
+        );
+        assert_eq!(ps.placement_name(), "domain-spread");
+        assert_eq!(ps.domain_cap(), 2, "RS(4, 6) tolerates two losses");
+        for i in 0..8 {
+            assert!(ps
+                .store_file(&FileRecord::new(format!("f{i}"), ByteSize::mb(300)))
+                .is_stored());
+        }
+        let mut spread = SpreadReport::new(ps.domain_cap());
+        for i in 0..8 {
+            let manifest = ps.manifest(&format!("f{i}")).unwrap();
+            for chunk in manifest.chunks.iter().filter(|c| !c.size.is_zero()) {
+                for b in &chunk.blocks {
+                    assert_eq!(b.domain, topo.domain_of(b.node), "recorded domain");
+                }
+                spread.record_chunk(chunk.blocks.iter().map(|b| b.domain));
+            }
+        }
+        assert_eq!(spread.cap_violations, 0, "no chunk exceeds the domain cap");
+        assert!(spread.max_in_one_domain <= 2);
+        assert!(spread.mean_distinct_domains() >= 3.0, "6 blocks, cap 2");
+    }
+
+    #[test]
+    fn oblivious_placement_leaves_domains_unrecorded() {
+        let mut ps = system(30, ByteSize::gb(1), 15);
+        assert!(ps
+            .store_file(&FileRecord::new("f", ByteSize::mb(200)))
+            .is_stored());
+        assert_eq!(ps.domain_cap(), usize::MAX);
+        assert!(ps
+            .manifest("f")
+            .unwrap()
+            .all_blocks()
+            .all(|b| b.domain.is_none()));
+    }
+
+    #[test]
+    fn rebuilt_blocks_never_collocate_with_live_blocks_of_their_chunk() {
+        let mut ps = PeerStripe::new(
+            cluster(30, ByteSize::gb(1), 16),
+            PeerStripeConfig::default().with_coding(CodingPolicy::rs_default()),
+        );
+        assert!(ps
+            .store_file(&FileRecord::new("d", ByteSize::mb(400)))
+            .is_stored());
+        // Chunks whose blocks start on distinct nodes must stay collocation-free
+        // through repeated failure/recovery rounds.
+        let distinct = |c: &ChunkPlacement, cluster: &StorageCluster| {
+            let nodes: Vec<NodeRef> = c
+                .blocks
+                .iter()
+                .map(|b| b.node)
+                .filter(|&n| cluster.overlay().is_alive(n))
+                .collect();
+            let unique: std::collections::HashSet<_> = nodes.iter().collect();
+            unique.len() == nodes.len()
+        };
+        let clean_before: Vec<u32> = ps
+            .manifest("d")
+            .unwrap()
+            .chunks
+            .iter()
+            .filter(|c| distinct(c, ps.cluster()))
+            .map(|c| c.chunk)
+            .collect();
+        assert!(!clean_before.is_empty());
+        for round in 0..3 {
+            let victim = ps.manifest("d").unwrap().chunks[0].blocks[round].node;
+            let takeover = ps.cluster_mut().fail_node(victim).unwrap();
+            ps.handle_node_failure(victim, &takeover);
+        }
+        let manifest = ps.manifest("d").unwrap();
+        for chunk in &manifest.chunks {
+            if clean_before.contains(&chunk.chunk) {
+                assert!(
+                    distinct(chunk, ps.cluster()),
+                    "chunk {} gained a collocated rebuilt block: {:?}",
+                    chunk.chunk,
+                    chunk.blocks.iter().map(|b| b.node).collect::<Vec<_>>()
+                );
+            }
+        }
+        assert!(ps.is_file_available("d"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::naming::ObjectName;
 use crate::storage::{NodeStoreError, StorageNode, StoredObject};
 use peerstripe_overlay::{Id, NodeRef, OverlaySim, Takeover};
+use peerstripe_placement::{ClusterView, ProbeView};
 use peerstripe_sim::{ByteSize, DetRng};
 use peerstripe_trace::CapacityModel;
 use serde::{Deserialize, Serialize};
@@ -244,6 +245,40 @@ impl StorageCluster {
         rng: &mut DetRng,
     ) -> Vec<(NodeRef, Option<Takeover>)> {
         self.overlay.fail_random(count, rng)
+    }
+}
+
+// The narrow interface placement strategies consult: routing, liveness, and
+// capacity reports, without exposing the rest of the cluster.
+impl ClusterView for StorageCluster {
+    fn route_quiet(&self, key: Id) -> Option<NodeRef> {
+        self.overlay.route_quiet(key)
+    }
+
+    fn is_alive(&self, node: NodeRef) -> bool {
+        self.overlay.is_alive(node)
+    }
+
+    fn can_store(&self, node: NodeRef, size: ByteSize) -> bool {
+        self.nodes[node].can_store(size)
+    }
+
+    fn report_of(&self, node: NodeRef) -> ByteSize {
+        self.nodes[node].report_capacity()
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn alive_nodes(&self) -> Vec<NodeRef> {
+        self.overlay.alive_nodes().collect()
+    }
+}
+
+impl ProbeView for StorageCluster {
+    fn probe(&mut self, key: Id) -> Option<(NodeRef, ByteSize)> {
+        self.get_capacity(key)
     }
 }
 

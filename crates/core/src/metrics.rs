@@ -146,6 +146,12 @@ pub struct MaintenanceMetrics {
     pub permanent_failures: u64,
     /// Transient departures (the node eventually returns with its data).
     pub transient_departures: u64,
+    /// Correlated whole-group outage events drawn by the grouped churn mode
+    /// (a lab powering down, a switch dying).
+    pub group_outages: u64,
+    /// Individual node departures caused by group outages (each outage takes
+    /// down every live member of its failure domain at once).
+    pub group_departures: u64,
     /// Nodes declared dead by the failure detector that later returned — the
     /// cost of an aggressive permanence timeout.
     pub false_declarations: u64,
@@ -167,6 +173,8 @@ impl Default for MaintenanceMetrics {
             repairs_dropped: 0,
             permanent_failures: 0,
             transient_departures: 0,
+            group_outages: 0,
+            group_departures: 0,
             false_declarations: 0,
             files_lost: 0,
             bytes_lost: ByteSize::ZERO,

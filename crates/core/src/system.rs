@@ -42,6 +42,11 @@ pub struct BlockPlacement {
     pub node: NodeRef,
     /// The object's size.
     pub size: ByteSize,
+    /// The failure domain the node belonged to at placement time (`None` for
+    /// deployments without a topology).  Recorded so spread accounting and
+    /// domain-aware repair can reason about a manifest without re-resolving
+    /// nodes against a topology that may have changed since.
+    pub domain: Option<peerstripe_placement::DomainId>,
 }
 
 /// Placement record of one chunk: every encoded block that was placed for it.
@@ -248,6 +253,7 @@ mod tests {
                         name: ObjectName::block("f", 0, i as u32),
                         node: n,
                         size: ByteSize::mb(5),
+                        domain: None,
                     })
                     .collect(),
                 min_blocks_needed: min_needed,

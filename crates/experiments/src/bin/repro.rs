@@ -10,6 +10,7 @@
 //!   rs-sweep                Reed-Solomon (n, m) sweep: throughput + minimal-subset recovery
 //!   table3                  data lost & regenerated under 10% / 20% churn
 //!   repair-sweep            continuous churn: repair policy × timeout × bandwidth
+//!   placement-sweep         grouped churn: placement strategy × domain size × outage rate
 //!   fig11 fig12             Bullet/RanSub replica dissemination
 //!   table4                  Condor bigCopy case study
 //!   all                     everything above

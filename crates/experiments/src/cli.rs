@@ -5,6 +5,7 @@ use crate::availability::{run_availability, run_regeneration, ChurnConfig};
 use crate::coding::{run_rs_sweep, run_table2, CodingConfig, RsSweepConfig};
 use crate::condor::{run_table4, CondorConfig};
 use crate::multicast_fig::{run_ransub_sweep, run_spread, MulticastConfig};
+use crate::placement_sweep::{run_placement_sweep, PlacementSweepConfig};
 use crate::repair_sweep::{run_repair_sweep, RepairSweepConfig};
 use crate::report;
 use crate::scale::Scale;
@@ -21,6 +22,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "rs-sweep",
     "table3",
     "repair-sweep",
+    "placement-sweep",
     "fig11",
     "fig12",
     "table4",
@@ -74,6 +76,12 @@ pub fn run_experiment_with(exp: &str, scale: Scale, seed: u64, emit: &mut dyn Fn
         matched = true;
         let sweep = run_repair_sweep(&RepairSweepConfig::at_scale(scale, seed));
         emit(&report::render_repair_sweep(&sweep));
+        emit("\n");
+    }
+    if matches!(exp, "placement-sweep" | "all") {
+        matched = true;
+        let sweep = run_placement_sweep(&PlacementSweepConfig::at_scale(scale, seed));
+        emit(&report::render_placement_sweep(&sweep));
         emit("\n");
     }
     if matches!(exp, "fig11" | "all") {

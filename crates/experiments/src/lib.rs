@@ -12,6 +12,7 @@
 //! | RS (n, m) sweep (optimal code) | [`coding::run_rs_sweep`] | `rs-sweep` |
 //! | Table 3 (churn regeneration)   | [`availability::run_regeneration`] | `table3` |
 //! | Continuous churn & repair policies | [`repair_sweep::run_repair_sweep`] | `repair-sweep` |
+//! | Grouped churn & placement strategies | [`placement_sweep::run_placement_sweep`] | `placement-sweep` |
 //! | Figure 11 (RanSub sweep)       | [`multicast_fig::run_ransub_sweep`] | `fig11` |
 //! | Figure 12 (packet spread)      | [`multicast_fig::run_spread`] | `fig12` |
 //! | Table 4 (Condor bigCopy)       | [`condor::run_table4`] | `table4` |
@@ -28,6 +29,7 @@ pub mod cli;
 pub mod coding;
 pub mod condor;
 pub mod multicast_fig;
+pub mod placement_sweep;
 pub mod repair_sweep;
 pub mod report;
 pub mod scale;

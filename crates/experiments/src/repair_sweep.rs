@@ -190,6 +190,7 @@ pub fn run_repair_sweep(config: &RepairSweepConfig) -> RepairSweep {
             mean_downtime_secs: config.mean_downtime_hours * 3_600.0,
         },
         permanent_fraction: config.permanent_fraction,
+        grouped: None,
     };
     let horizon = SimTime::from_secs_f64(config.sim_hours * 3_600.0);
 

@@ -86,6 +86,14 @@ impl Id {
         Id(((rng.next_u64() as u128) << 64) | rng.next_u64() as u128)
     }
 
+    /// Fold the identifier into a 64-bit RNG seed, for deterministic
+    /// per-object draws keyed on an object's id (both repair re-placement
+    /// paths derive their target-selection stream this way).
+    #[inline]
+    pub fn seed(self) -> u64 {
+        (self.0 as u64) ^ ((self.0 >> 64) as u64)
+    }
+
     /// Circular distance between two identifiers (the shorter way around the ring).
     #[inline]
     pub fn distance(self, other: Id) -> u128 {

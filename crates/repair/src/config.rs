@@ -1,6 +1,7 @@
 //! Configuration of the churn process, failure detector, repair policies and
 //! bandwidth budgets.
 
+use peerstripe_placement::Topology;
 use peerstripe_sim::dist::{Distribution, Exponential};
 use peerstripe_sim::{ByteSize, DetRng};
 use peerstripe_trace::SessionTrace;
@@ -53,6 +54,40 @@ impl SessionModel {
     }
 }
 
+/// Correlated grouped churn: whole failure domains (labs, racks, buildings)
+/// depart and return as units, alongside the independent per-node sessions.
+///
+/// Each domain of the topology draws outage events with exponential
+/// inter-arrival times; an outage takes every live member down at once (a lab
+/// powering down, a switch dying) and returns the *same* members when the
+/// outage ends.  Group departures are transient — the disks come back — but
+/// the failure detector does not know that, so a permanence timeout shorter
+/// than the outage declares the whole domain dead and triggers a write-off
+/// wave for every chunk that concentrated too many blocks there.
+#[derive(Debug, Clone)]
+pub struct GroupedChurn {
+    /// The failure-domain topology whose domains fail as units.
+    pub topology: Topology,
+    /// Mean interval between outages, per domain, in seconds (measured from
+    /// the end of the previous outage).
+    pub mean_outage_interval_secs: f64,
+    /// Mean duration of one outage, in seconds.
+    pub mean_outage_downtime_secs: f64,
+}
+
+impl GroupedChurn {
+    /// Grouped churn over a topology with the given mean outage interval and
+    /// duration (hours).
+    pub fn new(topology: Topology, mean_interval_hours: f64, mean_downtime_hours: f64) -> Self {
+        assert!(mean_interval_hours > 0.0 && mean_downtime_hours > 0.0);
+        GroupedChurn {
+            topology,
+            mean_outage_interval_secs: mean_interval_hours * 3_600.0,
+            mean_outage_downtime_secs: mean_downtime_hours * 3_600.0,
+        }
+    }
+}
+
 /// The churn process: how nodes leave and return.
 #[derive(Debug, Clone)]
 pub struct ChurnProcess {
@@ -60,6 +95,9 @@ pub struct ChurnProcess {
     pub sessions: SessionModel,
     /// Probability that a departure is permanent (the disk never comes back).
     pub permanent_fraction: f64,
+    /// Optional correlated grouped-churn mode: whole failure domains depart
+    /// and return as units on top of the independent sessions.
+    pub grouped: Option<GroupedChurn>,
 }
 
 impl ChurnProcess {
@@ -68,7 +106,14 @@ impl ChurnProcess {
         ChurnProcess {
             sessions: SessionModel::desktop_grid_default(),
             permanent_fraction: 0.02,
+            grouped: None,
         }
+    }
+
+    /// Add a correlated grouped-churn mode.
+    pub fn with_grouped(mut self, grouped: GroupedChurn) -> Self {
+        self.grouped = Some(grouped);
+        self
     }
 }
 

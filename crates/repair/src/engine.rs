@@ -16,16 +16,43 @@ use crate::scheduler::RepairScheduler;
 use peerstripe_core::{
     DamageLedger, MaintenanceMetrics, MaintenanceSample, ManifestStore, StorageCluster,
 };
-use peerstripe_overlay::{Id, NodeRef};
+use peerstripe_overlay::NodeRef;
+use peerstripe_placement::{OverlayRandom, PlacementStrategy, RepairRequest, Topology};
+use peerstripe_sim::dist::{Distribution, Exponential};
 use peerstripe_sim::{ByteSize, DetRng, EventQueue, SimTime};
 
 /// Events the maintenance engine processes.
 #[derive(Debug, Clone)]
 pub enum MaintenanceEvent {
     /// A node leaves the overlay (transient or permanent; nobody knows yet).
-    Depart(NodeRef),
+    Depart {
+        /// The departing node.
+        node: NodeRef,
+        /// The session generation the event belongs to.  A group outage that
+        /// cuts a node's session short bumps the generation, so the stale
+        /// per-node event chain dies instead of double-driving the node.
+        session: u64,
+    },
     /// A transiently departed node returns.
-    Return(NodeRef),
+    Return {
+        /// The returning node.
+        node: NodeRef,
+        /// The session generation the event belongs to.
+        session: u64,
+    },
+    /// A whole failure domain goes down at once (grouped churn mode).
+    GroupDepart {
+        /// The affected topology domain.
+        group: u32,
+    },
+    /// A group outage ends: exactly the members it took down return.
+    GroupReturn {
+        /// The affected topology domain.
+        group: u32,
+        /// The members the outage took down (nodes already down individually
+        /// at outage start are *not* included — their own return drives them).
+        members: Vec<NodeRef>,
+    },
     /// The failure detector's permanence timeout expires for a node.
     DeclareDead {
         /// The absent node.
@@ -79,6 +106,10 @@ pub struct MaintenanceReport {
     pub permanent_failures: u64,
     /// Transient departures drawn by the churn process.
     pub transient_departures: u64,
+    /// Whole-group outage events drawn by the grouped churn mode.
+    pub group_outages: u64,
+    /// Node departures caused by group outages.
+    pub group_departures: u64,
     /// Nodes declared dead that later returned.
     pub false_declarations: u64,
 }
@@ -106,6 +137,15 @@ pub struct MaintenanceEngine {
     // Per node.
     permanent: Vec<bool>,
     declared: Vec<bool>,
+    /// Session generation per node; bumped when a group outage cuts a session
+    /// short so the node's stale Depart/Return chain is invalidated.
+    session_gen: Vec<u64>,
+    // Grouped churn (indexed by churn-topology domain).
+    group_down_until: Vec<SimTime>,
+    grouped_rng: DetRng,
+    // Placement of rebuilt blocks.
+    placement: Box<dyn PlacementStrategy>,
+    topology: Option<Topology>,
     metrics: MaintenanceMetrics,
     horizon: SimTime,
 }
@@ -141,6 +181,15 @@ impl MaintenanceEngine {
             );
         }
         let mut rng = DetRng::new(seed).fork("maintenance");
+        let group_count = churn
+            .grouped
+            .as_ref()
+            .map(|g| g.topology.domain_count())
+            .unwrap_or(0);
+        // The grouped mode's topology doubles as the default placement
+        // topology, so repair re-placement is domain-aware whenever the churn
+        // is (override with [`MaintenanceEngine::with_placement`]).
+        let topology = churn.grouped.as_ref().map(|g| g.topology.clone());
         let mut engine = MaintenanceEngine {
             detector: FailureDetector::new(nodes, config.detector),
             scheduler: RepairScheduler::new(nodes, config.bandwidth, config.policy),
@@ -153,6 +202,11 @@ impl MaintenanceEngine {
             retry_pending: vec![false; chunks],
             permanent: vec![false; nodes],
             declared: vec![false; nodes],
+            session_gen: vec![0; nodes],
+            group_down_until: vec![SimTime::ZERO; group_count],
+            grouped_rng: DetRng::new(seed).fork("grouped-churn"),
+            placement: Box::new(OverlayRandom::new()),
+            topology,
             metrics: MaintenanceMetrics::new(),
             horizon: SimTime::ZERO,
             cluster,
@@ -172,13 +226,41 @@ impl MaintenanceEngine {
             let residual = session * rng.next_f64();
             engine.queue.schedule_at(
                 SimTime::from_secs_f64(residual),
-                MaintenanceEvent::Depart(node),
+                MaintenanceEvent::Depart { node, session: 0 },
             );
+        }
+        // Grouped mode: every domain's first outage arrives after an
+        // exponential wait on its own stream, so the independent-session draws
+        // above are byte-identical with and without grouping.
+        if let Some(grouped) = &engine.churn.grouped {
+            let rate = 1.0 / grouped.mean_outage_interval_secs;
+            for group in 0..group_count as u32 {
+                let wait = Exponential::new(rate).sample(&mut engine.grouped_rng);
+                engine.queue.schedule_at(
+                    SimTime::from_secs_f64(wait),
+                    MaintenanceEvent::GroupDepart { group },
+                );
+            }
         }
         engine
             .queue
             .schedule_at(engine.sample_period, MaintenanceEvent::Sample);
         engine
+    }
+
+    /// Route rebuilt-block placement through an explicit strategy (and
+    /// optionally a different topology than the churn's).  The default is
+    /// [`OverlayRandom`] over the grouped-churn topology, if any.
+    pub fn with_placement(
+        mut self,
+        strategy: Box<dyn PlacementStrategy>,
+        topology: Option<Topology>,
+    ) -> Self {
+        self.placement = strategy;
+        if topology.is_some() {
+            self.topology = topology;
+        }
+        self
     }
 
     /// Advance the simulation by `duration` of virtual time.
@@ -237,8 +319,59 @@ impl MaintenanceEngine {
             repair_per_useful_byte: self.metrics.repair_bytes_per_useful_byte(useful),
             permanent_failures: self.metrics.permanent_failures,
             transient_departures: self.metrics.transient_departures,
+            group_outages: self.metrics.group_outages,
+            group_departures: self.metrics.group_departures,
             false_declarations: self.metrics.false_declarations,
         }
+    }
+
+    /// True if the grouped-churn domain is currently in an outage.
+    pub fn group_outage_active(&self, group: u32) -> bool {
+        self.group_down_until
+            .get(group as usize)
+            .is_some_and(|&until| self.queue.now() < until)
+    }
+
+    /// The topology rebuilt blocks are placed against, if any.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// Verify the engine's incremental availability accounting against a full
+    /// recomputation from the ledger and the overlay: per-chunk live-block
+    /// counters, per-file failed-chunk counters, and the unavailable-file
+    /// total must all balance.  O(blocks); used by the grouped-churn
+    /// conservation property tests.
+    pub fn accounting_is_consistent(&self) -> bool {
+        let mut failed_chunks = vec![0u32; self.ledger.file_count()];
+        for chunk in 0..self.ledger.chunk_count() as u32 {
+            let ci = chunk as usize;
+            let fi = self.ledger.file_of(chunk) as usize;
+            if self.ledger.is_lost(chunk) {
+                // Lost chunks freeze their availability accounting; they stay
+                // failed forever.
+                failed_chunks[fi] += 1;
+                continue;
+            }
+            let alive = self
+                .ledger
+                .blocks(chunk)
+                .iter()
+                .filter(|(n, _)| self.cluster.overlay().is_alive(*n))
+                .count() as u32;
+            if alive != self.alive_blocks[ci] {
+                return false;
+            }
+            if alive < self.ledger.needed(chunk) as u32 {
+                failed_chunks[fi] += 1;
+            }
+        }
+        let unavailable = failed_chunks.iter().filter(|&&c| c > 0).count() as u64;
+        failed_chunks
+            .iter()
+            .zip(&self.file_failed_chunks)
+            .all(|(recomputed, tracked)| recomputed == tracked)
+            && unavailable == self.files_unavailable
     }
 
     fn handle(
@@ -248,8 +381,20 @@ impl MaintenanceEngine {
         event: MaintenanceEvent,
     ) {
         match event {
-            MaintenanceEvent::Depart(node) => self.on_depart(q, now, node),
-            MaintenanceEvent::Return(node) => self.on_return(q, now, node),
+            MaintenanceEvent::Depart { node, session } => {
+                if session == self.session_gen[node] {
+                    self.on_depart(q, now, node);
+                }
+            }
+            MaintenanceEvent::Return { node, session } => {
+                if session == self.session_gen[node] {
+                    self.on_return(q, now, node);
+                }
+            }
+            MaintenanceEvent::GroupDepart { group } => self.on_group_depart(q, now, group),
+            MaintenanceEvent::GroupReturn { group, members } => {
+                self.on_group_return(q, now, group, members)
+            }
             MaintenanceEvent::DeclareDead { node, generation } => {
                 self.on_declare(q, now, node, generation)
             }
@@ -280,7 +425,10 @@ impl MaintenanceEngine {
             let downtime = self.churn.sessions.sample_downtime(&mut self.rng);
             q.schedule_after(
                 SimTime::from_secs_f64(downtime),
-                MaintenanceEvent::Return(node),
+                MaintenanceEvent::Return {
+                    node,
+                    session: self.session_gen[node],
+                },
             );
         }
         for chunk in self.ledger.chunks_on(node).to_vec() {
@@ -296,7 +444,101 @@ impl MaintenanceEngine {
         );
     }
 
+    /// A whole failure domain goes down at once: every live member departs,
+    /// with its individual session chain invalidated (the outage cut it
+    /// short).  Members already down individually are untouched — their own
+    /// return event still drives them, deferred past the outage end.
+    fn on_group_depart(&mut self, q: &mut EventQueue<MaintenanceEvent>, now: SimTime, group: u32) {
+        let Some(grouped) = self.churn.grouped.as_ref() else {
+            return;
+        };
+        let members = grouped.topology.members(group).to_vec();
+        let downtime_rate = 1.0 / grouped.mean_outage_downtime_secs;
+        let mut taken = Vec::new();
+        for node in members {
+            if !self.cluster.overlay().is_alive(node) {
+                continue;
+            }
+            self.session_gen[node] += 1;
+            self.cluster.fail_node(node);
+            self.metrics.group_departures += 1;
+            for chunk in self.ledger.chunks_on(node).to_vec() {
+                self.chunk_block_down(chunk);
+            }
+            // The failure detector cannot tell a lab outage from real loss:
+            // the permanence timeout starts counting, exactly as for any
+            // other departure.
+            let pending = self.detector.node_down(node, now);
+            q.schedule_at(
+                pending.declare_at,
+                MaintenanceEvent::DeclareDead {
+                    node,
+                    generation: pending.generation,
+                },
+            );
+            taken.push(node);
+        }
+        self.metrics.group_outages += 1;
+        let downtime = Exponential::new(downtime_rate).sample(&mut self.grouped_rng);
+        let until = now + SimTime::from_secs_f64(downtime);
+        self.group_down_until[group as usize] = until;
+        q.schedule_at(
+            until,
+            MaintenanceEvent::GroupReturn {
+                group,
+                members: taken,
+            },
+        );
+    }
+
+    /// A group outage ends: exactly the members it took down return (dead
+    /// disks and overlapping individual downtimes excepted), and the domain's
+    /// next outage is drawn.
+    fn on_group_return(
+        &mut self,
+        q: &mut EventQueue<MaintenanceEvent>,
+        now: SimTime,
+        group: u32,
+        members: Vec<NodeRef>,
+    ) {
+        self.group_down_until[group as usize] = now;
+        for node in members {
+            self.return_node(q, now, node);
+        }
+        if let Some(grouped) = self.churn.grouped.as_ref() {
+            let rate = 1.0 / grouped.mean_outage_interval_secs;
+            let wait = Exponential::new(rate).sample(&mut self.grouped_rng);
+            q.schedule_after(
+                SimTime::from_secs_f64(wait),
+                MaintenanceEvent::GroupDepart { group },
+            );
+        }
+    }
+
     fn on_return(&mut self, q: &mut EventQueue<MaintenanceEvent>, now: SimTime, node: NodeRef) {
+        // A member of a domain in outage cannot come back up on its own — the
+        // power is out; its individual return is deferred past the outage.
+        if let Some(grouped) = self.churn.grouped.as_ref() {
+            if let Some(domain) = grouped.topology.domain_of(node) {
+                let until = self.group_down_until[domain as usize];
+                if now < until {
+                    q.schedule_at(
+                        until + SimTime::from_secs(1),
+                        MaintenanceEvent::Return {
+                            node,
+                            session: self.session_gen[node],
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        self.return_node(q, now, node);
+    }
+
+    /// A down node comes back up: rejoin, reconcile with the failure
+    /// detector, and start its next session.
+    fn return_node(&mut self, q: &mut EventQueue<MaintenanceEvent>, now: SimTime, node: NodeRef) {
         if self.permanent[node] || self.cluster.overlay().is_alive(node) {
             return;
         }
@@ -328,7 +570,10 @@ impl MaintenanceEngine {
         let session = self.churn.sessions.sample_session(&mut self.rng);
         q.schedule_after(
             SimTime::from_secs_f64(session),
-            MaintenanceEvent::Depart(node),
+            MaintenanceEvent::Depart {
+                node,
+                session: self.session_gen[node],
+            },
         );
     }
 
@@ -440,29 +685,31 @@ impl MaintenanceEngine {
             self.schedule_retry(q, chunk);
             return;
         }
-        // Placement targets through the overlay placement path: random-key
-        // probes to live nodes with space that do not already hold a block of
-        // this chunk (keeping the failure independence of the original spread).
+        // Placement targets through the placement strategy: a rebuilt block
+        // never collocates with a registered block of its chunk, and with a
+        // topology in play, domains already at the chunk's block cap are
+        // excluded (so repair re-placement preserves the original spread).
         let size = self.block_size[ci];
-        let mut targets: Vec<NodeRef> = Vec::with_capacity(want);
         let holders: Vec<NodeRef> = self.ledger.blocks(chunk).iter().map(|(n, _)| *n).collect();
-        let mut attempts = 0;
-        while targets.len() < want && attempts < want * 8 {
-            attempts += 1;
-            let Some(candidate) = self
-                .cluster
-                .overlay()
-                .route_quiet(Id::random(&mut self.rng))
-            else {
-                break;
-            };
-            if self.cluster.node(candidate).can_store(size)
-                && !holders.contains(&candidate)
-                && !targets.contains(&candidate)
-            {
-                targets.push(candidate);
-            }
-        }
+        let domain_cap = if self.topology.is_some() {
+            (self.target_blocks[ci] as usize)
+                .saturating_sub(needed)
+                .max(1)
+        } else {
+            usize::MAX
+        };
+        let request = RepairRequest {
+            want,
+            size,
+            holders: &holders,
+            domain_cap,
+        };
+        let targets = self.placement.repair_targets(
+            &self.cluster,
+            self.topology.as_ref(),
+            &request,
+            &mut self.rng,
+        );
         if targets.is_empty() {
             self.schedule_retry(q, chunk);
             return;
@@ -598,6 +845,7 @@ mod tests {
                 mean_downtime_secs: 2.0 * 3_600.0,
             },
             permanent_fraction,
+            grouped: None,
         }
     }
 
@@ -696,6 +944,136 @@ mod tests {
             report.repair_bytes > ByteSize::ZERO,
             "false declarations cost repair traffic"
         );
+    }
+
+    #[test]
+    fn group_outages_take_whole_domains_down_and_bring_them_back() {
+        use peerstripe_placement::Topology;
+        // Individual sessions so long they never expire inside the run: every
+        // departure in this simulation is a group outage.
+        let ps = loaded(60, 40, 21);
+        let manifests = ps.manifests().clone();
+        let topology = Topology::uniform_groups(60, 10);
+        let churn = ChurnProcess {
+            sessions: SessionModel::Synthetic {
+                mean_session_secs: 1e12,
+                mean_downtime_secs: 3_600.0,
+            },
+            permanent_fraction: 0.0,
+            grouped: Some(crate::GroupedChurn::new(topology.clone(), 8.0, 3.0)),
+        };
+        let mut engine = MaintenanceEngine::new(
+            ps.into_cluster(),
+            &manifests,
+            churn,
+            // Timeout far beyond every outage: nothing is ever declared dead.
+            config(RepairPolicy::Eager, 1e9),
+            21,
+        );
+        engine.run_for(SimTime::from_secs(72 * 3_600));
+        let report = engine.report();
+        assert!(report.group_outages > 0, "outages must fire: {report:?}");
+        assert!(report.group_departures > 0);
+        assert_eq!(report.transient_departures, 0, "sessions never expire");
+        assert_eq!(report.permanent_failures, 0);
+        assert_eq!(report.files_lost, 0, "outages are transient");
+        assert_eq!(report.repair_bytes, ByteSize::ZERO, "nothing declared dead");
+        assert!(
+            report.availability_min_pct < 100.0,
+            "outages hurt availability"
+        );
+        assert!(engine.accounting_is_consistent());
+        // Every down node sits in a domain currently in outage: group events
+        // touch exactly their members.
+        for node in 0..60 {
+            if !engine.cluster().overlay().is_alive(node) {
+                let domain = topology.domain_of(node).unwrap();
+                assert!(
+                    engine.group_outage_active(domain),
+                    "node {node} is down outside an outage of its domain"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggressive_timeouts_turn_group_outages_into_declaration_waves() {
+        use peerstripe_placement::Topology;
+        let ps = loaded(60, 40, 23);
+        let manifests = ps.manifests().clone();
+        let churn = ChurnProcess {
+            sessions: SessionModel::Synthetic {
+                mean_session_secs: 1e12,
+                mean_downtime_secs: 3_600.0,
+            },
+            permanent_fraction: 0.0,
+            // 12 h outages against a 2 h permanence timeout: every outage
+            // writes the whole domain off and triggers a regeneration wave.
+            grouped: Some(crate::GroupedChurn::new(
+                Topology::uniform_groups(60, 10),
+                24.0,
+                12.0,
+            )),
+        };
+        let mut engine = MaintenanceEngine::new(
+            ps.into_cluster(),
+            &manifests,
+            churn,
+            config(RepairPolicy::Eager, 2.0 * 3_600.0),
+            23,
+        );
+        engine.run_for(SimTime::from_secs(72 * 3_600));
+        let report = engine.report();
+        assert!(report.group_outages > 0);
+        assert!(
+            report.false_declarations > 0,
+            "returning domains were written off: {report:?}"
+        );
+        assert!(report.repair_bytes > ByteSize::ZERO);
+        assert!(engine.accounting_is_consistent());
+    }
+
+    #[test]
+    fn grouped_runs_are_deterministic_and_stack_with_individual_churn() {
+        use peerstripe_placement::{DomainSpread, Topology};
+        let build = || {
+            let ps = loaded(80, 60, 29);
+            let manifests = ps.manifests().clone();
+            let topology = Topology::uniform_groups(80, 8);
+            let churn = ChurnProcess {
+                sessions: SessionModel::Synthetic {
+                    mean_session_secs: 6.0 * 3_600.0,
+                    mean_downtime_secs: 2.0 * 3_600.0,
+                },
+                permanent_fraction: 0.02,
+                grouped: Some(crate::GroupedChurn::new(topology.clone(), 16.0, 6.0)),
+            };
+            MaintenanceEngine::new(
+                ps.into_cluster(),
+                &manifests,
+                churn,
+                config(RepairPolicy::Eager, 12.0 * 3_600.0),
+                29,
+            )
+            .with_placement(Box::new(DomainSpread::new()), None)
+        };
+        let mut a = build();
+        let mut b = build();
+        a.run_for(SimTime::from_secs(48 * 3_600));
+        b.run_for(SimTime::from_secs(48 * 3_600));
+        let (ra, rb) = (a.report(), b.report());
+        assert_eq!(ra.events, rb.events);
+        assert_eq!(ra.repair_bytes, rb.repair_bytes);
+        assert_eq!(ra.group_outages, rb.group_outages);
+        assert_eq!(ra.files_lost, rb.files_lost);
+        // Both churn processes actually ran.
+        assert!(ra.transient_departures > 0);
+        assert!(ra.group_departures > 0);
+        assert!(
+            a.topology().is_some(),
+            "grouped topology auto-wires placement"
+        );
+        assert!(a.accounting_is_consistent());
     }
 
     #[test]

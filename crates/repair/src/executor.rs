@@ -13,11 +13,18 @@
 use peerstripe_core::client::{pack_payload, unpack_payload};
 use peerstripe_core::{BlockPlacement, ChunkPlacement, CodingPolicy, ObjectName, StorageCluster};
 use peerstripe_erasure::{DecodeError, EncodedBlock, ErasureCode};
-use peerstripe_sim::ByteSize;
+use peerstripe_overlay::NodeRef;
+use peerstripe_placement::{OverlayRandom, PlacementStrategy, RepairRequest, Topology};
+use peerstripe_sim::{ByteSize, DetRng};
 
 /// Rebuilds lost block payloads through a coding policy's codec.
 pub struct RegenerationExecutor {
     codec: Box<dyn ErasureCode>,
+    /// The policy's tolerable losses per chunk — the per-domain block cap for
+    /// domain-aware re-placement.  Taken from the policy, not from a chunk's
+    /// current block list: that list retains dead entries and grows with
+    /// every repair, so deriving the cap from it would inflate it.
+    tolerable: usize,
 }
 
 impl RegenerationExecutor {
@@ -27,6 +34,7 @@ impl RegenerationExecutor {
     pub fn new(policy: &CodingPolicy, source_blocks: usize) -> Self {
         RegenerationExecutor {
             codec: policy.codec(source_blocks),
+            tolerable: policy.tolerable_losses(),
         }
     }
 
@@ -100,16 +108,32 @@ impl RegenerationExecutor {
         Ok(Some(pack_payload(&rebuilt)))
     }
 
-    /// Full byte-level repair of one chunk: rebuild the missing codec blocks
-    /// from live survivors and re-place them as a fresh block object through
-    /// the overlay placement path (route the new name to a live node with
-    /// space, exactly as the client's recovery does).  Updates `chunk` with
-    /// the new placement and returns it; `Ok(None)` means nothing needed
-    /// rebuilding (or the deployment is placement-only).
+    /// Full byte-level repair of one chunk through the default placement
+    /// (oblivious [`OverlayRandom`], no topology).  See
+    /// [`RegenerationExecutor::repair_chunk_with`].
     pub fn repair_chunk(
         &self,
         cluster: &mut StorageCluster,
         chunk: &mut ChunkPlacement,
+    ) -> Result<Option<BlockPlacement>, DecodeError> {
+        let mut strategy = OverlayRandom::new();
+        self.repair_chunk_with(cluster, chunk, &mut strategy, None)
+    }
+
+    /// Full byte-level repair of one chunk: rebuild the missing codec blocks
+    /// from live survivors and re-place them as a fresh block object through
+    /// the given placement strategy.  The target never collocates with a live
+    /// block of the same chunk, and with a topology the strategy also skips
+    /// domains already at the chunk's block cap.  Updates `chunk` with the
+    /// new placement and returns it; `Ok(None)` means nothing needed
+    /// rebuilding (or the deployment is placement-only, or no eligible target
+    /// exists right now — the caller retries later).
+    pub fn repair_chunk_with(
+        &self,
+        cluster: &mut StorageCluster,
+        chunk: &mut ChunkPlacement,
+        strategy: &mut dyn PlacementStrategy,
+        topology: Option<&Topology>,
     ) -> Result<Option<BlockPlacement>, DecodeError> {
         let Some(payload) = self.rebuild_missing(cluster, chunk)? else {
             return Ok(None);
@@ -137,12 +161,33 @@ impl RegenerationExecutor {
         let name = ObjectName::block(file, chunk_no, next_ecb);
         let size = ByteSize::bytes(payload.len() as u64);
         let key = name.key();
-        let target = cluster
-            .overlay()
-            .route_quiet(key)
-            .filter(|n| cluster.node(*n).can_store(size));
-        let Some(node) = target else {
-            // No live node with space right now; the caller retries later.
+        // A rebuilt block must never land on a node already holding a live
+        // block of its chunk — that would silently shrink the chunk's failure
+        // tolerance.
+        let holders: Vec<NodeRef> = chunk
+            .blocks
+            .iter()
+            .map(|b| b.node)
+            .filter(|&n| cluster.overlay().is_alive(n))
+            .collect();
+        let domain_cap = if topology.is_some() {
+            self.tolerable.max(1)
+        } else {
+            usize::MAX
+        };
+        let request = RepairRequest {
+            want: 1,
+            size,
+            holders: &holders,
+            domain_cap,
+        };
+        let mut rng = DetRng::new(key.seed());
+        let Some(node) = strategy
+            .repair_targets(&*cluster, topology, &request, &mut rng)
+            .into_iter()
+            .next()
+        else {
+            // No eligible live node with space right now; the caller retries.
             return Ok(None);
         };
         if cluster
@@ -151,7 +196,12 @@ impl RegenerationExecutor {
         {
             return Ok(None);
         }
-        let placement = BlockPlacement { name, node, size };
+        let placement = BlockPlacement {
+            name,
+            node,
+            size,
+            domain: topology.and_then(|t| t.domain_of(node)),
+        };
         chunk.blocks.push(placement.clone());
         Ok(Some(placement))
     }

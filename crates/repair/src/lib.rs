@@ -40,7 +40,8 @@ pub mod executor;
 pub mod scheduler;
 
 pub use config::{
-    BandwidthBudget, ChurnProcess, DetectorConfig, RepairConfig, RepairPolicy, SessionModel,
+    BandwidthBudget, ChurnProcess, DetectorConfig, GroupedChurn, RepairConfig, RepairPolicy,
+    SessionModel,
 };
 pub use detector::{FailureDetector, PendingDeclaration};
 pub use engine::{MaintenanceEngine, MaintenanceEvent, MaintenanceReport};

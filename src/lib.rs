@@ -11,6 +11,7 @@
 //! * [`core`](peerstripe_core) — the PeerStripe system itself;
 //! * [`overlay`](peerstripe_overlay) — the Pastry-semantics DHT simulator;
 //! * [`erasure`](peerstripe_erasure) — Null / XOR / online erasure codes;
+//! * [`placement`](peerstripe_placement) — failure-domain topology & placement strategies;
 //! * [`multicast`](peerstripe_multicast) — RanSub + Bullet replica dissemination;
 //! * [`trace`](peerstripe_trace) — workload and capacity generators;
 //! * [`baselines`](peerstripe_baselines) — PAST and CFS comparison systems;
@@ -43,6 +44,7 @@ pub use peerstripe_experiments as experiments;
 pub use peerstripe_gridsim as gridsim;
 pub use peerstripe_multicast as multicast;
 pub use peerstripe_overlay as overlay;
+pub use peerstripe_placement as placement;
 pub use peerstripe_repair as repair;
 pub use peerstripe_sim as sim;
 pub use peerstripe_trace as trace;

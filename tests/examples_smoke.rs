@@ -117,3 +117,37 @@ fn repro_repair_sweep_at_small_scale() {
         "maintenance-bill column missing:\n{report}"
     );
 }
+
+/// The grouped-churn placement sweep keeps producing its report through the
+/// `repro` dispatch — the same code path `repro placement-sweep --scale small`
+/// (run in CI as part of `repro all`) takes — and keeps demonstrating its
+/// headline: domain-aware placement beats oblivious placement on files lost
+/// under correlated whole-domain outages at equal repair bandwidth.
+#[test]
+fn repro_placement_sweep_at_small_scale() {
+    use peerstripe::experiments::placement_sweep::{run_placement_sweep, PlacementSweepConfig};
+    use peerstripe::experiments::report::render_placement_sweep;
+
+    let sweep = run_placement_sweep(&PlacementSweepConfig::at_scale(Scale::Small, 42));
+    assert!(
+        sweep.domain_spread_beats_oblivious(),
+        "domain-spread must beat overlay-random on durability: {:#?}",
+        sweep.rows
+    );
+    let report = render_placement_sweep(&sweep);
+    for needle in [
+        "Placement sweep",
+        "overlay-random",
+        "domain-spread",
+        "capacity-weighted",
+        "domain-spread vs overlay-random @ group",
+        "total over matched configurations",
+        "Cap viol.",
+    ] {
+        assert!(report.contains(needle), "missing '{needle}':\n{report}");
+    }
+    // The dispatcher path agrees with the direct call.
+    let dispatched = run_experiment("placement-sweep", Scale::Small, 42)
+        .expect("placement-sweep is a known experiment");
+    assert!(dispatched.contains("Placement sweep"));
+}

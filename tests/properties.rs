@@ -8,7 +8,12 @@ use peerstripe::core::{
 };
 use peerstripe::erasure::{ErasureCode, NullCode, OnlineCode, ReedSolomonCode, XorCode};
 use peerstripe::overlay::{Id, IdRing};
-use peerstripe::sim::{ByteSize, DetRng, OnlineStats};
+use peerstripe::placement::{DomainSpread, Topology};
+use peerstripe::repair::{
+    ChurnProcess, DetectorConfig, GroupedChurn, MaintenanceEngine, RepairConfig, RepairPolicy,
+    SessionModel,
+};
+use peerstripe::sim::{ByteSize, DetRng, OnlineStats, SimTime};
 use peerstripe::trace::{CapacityModel, FileRecord};
 use proptest::prelude::*;
 
@@ -368,6 +373,73 @@ proptest! {
         }
     }
 
+    /// Failure-domain invariant: under the `DomainSpread` strategy, for
+    /// arbitrary topologies (grouped or hierarchical) and every coding policy,
+    /// no stored chunk ever keeps more blocks in one domain than the policy
+    /// tolerates losing — and when the constraint cannot be met, the store
+    /// fails loudly instead of silently violating it.
+    #[test]
+    fn domain_spread_never_exceeds_the_cap(
+        group_size in 2usize..10,
+        hierarchical in any::<bool>(),
+        coding_pick in 0usize..4,
+        topo_seed in any::<u64>(),
+        files in 3usize..8,
+    ) {
+        let nodes = 48;
+        let coding = [
+            CodingPolicy::None,
+            CodingPolicy::xor_2_3(),
+            CodingPolicy::online_default(),
+            CodingPolicy::rs_default(),
+        ][coding_pick];
+        let topo = if hierarchical {
+            Topology::synthetic(nodes, 2, (nodes / group_size / 2).max(1), topo_seed)
+        } else {
+            Topology::uniform_groups(nodes, group_size)
+        };
+        let mut rng = DetRng::new(topo_seed ^ 0x51ab);
+        let cluster = ClusterConfig {
+            nodes,
+            capacity: CapacityModel::Fixed(ByteSize::gb(1)),
+            report_fraction: 1.0,
+            track_objects: true,
+        }
+        .build(&mut rng);
+        let mut ps = PeerStripe::with_placement(
+            cluster,
+            PeerStripeConfig::default().with_coding(coding),
+            Box::new(DomainSpread::new()),
+            Some(topo.clone()),
+        );
+        let cap = ps.domain_cap();
+        prop_assert_eq!(cap, coding.tolerable_losses().max(1));
+        for i in 0..files {
+            let outcome = ps.store_file(&FileRecord::new(format!("f{i}"), ByteSize::mb(120)));
+            if !outcome.is_stored() {
+                // The loud path: refused outright, nothing partial recorded.
+                prop_assert!(ps.manifest(&format!("f{i}")).is_none());
+                continue;
+            }
+            let manifest = ps.manifest(&format!("f{i}")).unwrap();
+            for chunk in manifest.chunks.iter().filter(|c| !c.size.is_zero()) {
+                let mut counts = std::collections::HashMap::new();
+                for b in &chunk.blocks {
+                    prop_assert_eq!(b.domain, topo.domain_of(b.node), "recorded domain");
+                    if let Some(d) = b.domain {
+                        *counts.entry(d).or_insert(0usize) += 1;
+                    }
+                }
+                let worst = counts.values().copied().max().unwrap_or(0);
+                prop_assert!(
+                    worst <= cap,
+                    "chunk {} holds {} blocks in one domain (cap {}) under {}",
+                    chunk.chunk, worst, cap, coding.label()
+                );
+            }
+        }
+    }
+
     /// Storing arbitrary file sizes never loses accounting: placed bytes are at
     /// least the stored user bytes, and failed stores leave utilization unchanged.
     #[test]
@@ -394,5 +466,86 @@ proptest! {
         let m = ps.metrics();
         prop_assert!(m.bytes_placed >= m.bytes_stored);
         prop_assert_eq!(m.bytes_attempted, m.bytes_stored + m.bytes_failed);
+    }
+
+    /// Grouped-churn conservation: whole-domain outage events touch exactly
+    /// the members of their domain (every down node sits in a domain whose
+    /// outage is still active), nothing is lost or repaired when nothing is
+    /// ever declared dead, and the engine's incremental availability
+    /// accounting balances against a full recomputation after arbitrary
+    /// outage schedules.
+    #[test]
+    fn grouped_churn_conserves_and_touches_only_members(
+        group_size in 3usize..12,
+        interval_hours in 4.0f64..10.0,
+        downtime_hours in 2.0f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let nodes = 48;
+        let mut rng = DetRng::new(seed ^ 0x6a09);
+        let cluster = ClusterConfig {
+            nodes,
+            capacity: CapacityModel::Fixed(ByteSize::gb(2)),
+            report_fraction: 1.0,
+            track_objects: true,
+        }
+        .build(&mut rng);
+        let mut ps = PeerStripe::new(
+            cluster,
+            PeerStripeConfig::default().with_coding(CodingPolicy::online_default()),
+        );
+        for i in 0..20 {
+            prop_assert!(ps
+                .store_file(&FileRecord::new(format!("f{i}"), ByteSize::mb(100)))
+                .is_stored());
+        }
+        let manifests = ps.manifests().clone();
+        let topo = Topology::uniform_groups(nodes, group_size);
+        let churn = ChurnProcess {
+            // Individual sessions far beyond the horizon: every departure in
+            // this run is a group event.
+            sessions: SessionModel::Synthetic {
+                mean_session_secs: 1e12,
+                mean_downtime_secs: 3_600.0,
+            },
+            permanent_fraction: 0.0,
+            grouped: Some(GroupedChurn::new(
+                topo.clone(),
+                interval_hours,
+                downtime_hours,
+            )),
+        };
+        let config = RepairConfig {
+            policy: RepairPolicy::Eager,
+            // Permanence timeout beyond any outage: nothing is declared dead.
+            detector: DetectorConfig::default_desktop_grid().with_timeout(1e9),
+            bandwidth: peerstripe::repair::BandwidthBudget::symmetric(ByteSize::mb(4)),
+            sample_period_secs: 3_600.0,
+        };
+        let mut engine =
+            MaintenanceEngine::new(ps.into_cluster(), &manifests, churn, config, seed);
+        engine.run_for(SimTime::from_secs(48 * 3_600));
+        let report = engine.report();
+        prop_assert!(report.group_outages > 0, "outages must fire: {report:?}");
+        prop_assert_eq!(report.transient_departures, 0);
+        prop_assert_eq!(report.permanent_failures, 0);
+        // Conservation: transient group churn with no declarations loses
+        // nothing and moves no repair bytes.
+        prop_assert_eq!(report.files_lost, 0);
+        prop_assert_eq!(report.repair_bytes, ByteSize::ZERO);
+        prop_assert!(engine.accounting_is_consistent(), "accounting must balance");
+        // Group events touch exactly their members: any node down right now
+        // belongs to a domain whose outage is still active.
+        for node in 0..nodes {
+            if !engine.cluster().overlay().is_alive(node) {
+                let domain = topo.domain_of(node).expect("topology is total");
+                prop_assert!(
+                    engine.group_outage_active(domain),
+                    "node {} down outside an outage of domain {}",
+                    node,
+                    domain
+                );
+            }
+        }
     }
 }
