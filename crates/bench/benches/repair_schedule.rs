@@ -8,8 +8,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use peerstripe_core::{ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem};
 use peerstripe_repair::{
-    BandwidthBudget, ChurnProcess, DetectorConfig, MaintenanceEngine, RepairConfig, RepairPolicy,
-    SessionModel,
+    BandwidthBudget, ChurnProcess, DetectionKind, DetectorConfig, MaintenanceEngine, RepairConfig,
+    RepairPolicy, SessionModel,
 };
 use peerstripe_sim::{ByteSize, DetRng, SimTime};
 use peerstripe_trace::TraceConfig;
@@ -55,6 +55,7 @@ fn engine_of(
     let config = RepairConfig {
         policy: RepairPolicy::Eager,
         detector: DetectorConfig::default_desktop_grid().with_timeout(24.0 * 3_600.0),
+        detection: DetectionKind::PerNodeTimeout,
         bandwidth: BandwidthBudget::symmetric(ByteSize::mb(4)),
         sample_period_secs: 3_600.0,
     };

@@ -155,6 +155,16 @@ pub struct MaintenanceMetrics {
     /// Nodes declared dead by the failure detector that later returned — the
     /// cost of an aggressive permanence timeout.
     pub false_declarations: u64,
+    /// Repair traffic spent regenerating blocks of nodes that later returned:
+    /// the byte bill of false declarations, and the saving an outage-aware
+    /// detector buys.  Always ≤ `repair_bytes`.
+    pub wasted_repair_bytes: ByteSize,
+    /// Down periods whose declaration the detection policy held at least once
+    /// (correlated absence classified as an outage).
+    pub declarations_held: u64,
+    /// Held declarations cancelled by the node returning before the hold cap
+    /// — write-offs (and their regeneration waves) that never happened.
+    pub held_cancelled: u64,
     /// Files written off as permanently lost.
     pub files_lost: u64,
     /// User bytes in permanently lost chunks.
@@ -176,6 +186,9 @@ impl Default for MaintenanceMetrics {
             group_outages: 0,
             group_departures: 0,
             false_declarations: 0,
+            wasted_repair_bytes: ByteSize::ZERO,
+            declarations_held: 0,
+            held_cancelled: 0,
             files_lost: 0,
             bytes_lost: ByteSize::ZERO,
         }

@@ -15,8 +15,8 @@ use peerstripe_core::{
     ClusterConfig, CodingPolicy, DamageLedger, PeerStripe, PeerStripeConfig, StorageSystem,
 };
 use peerstripe_repair::{
-    BandwidthBudget, ChurnProcess, DetectorConfig, MaintenanceEngine, RepairConfig, RepairPolicy,
-    SessionModel,
+    BandwidthBudget, ChurnProcess, DetectionKind, DetectorConfig, MaintenanceEngine, RepairConfig,
+    RepairPolicy, SessionModel,
 };
 use peerstripe_sim::{ByteSize, DetRng, SimTime};
 use peerstripe_trace::TraceConfig;
@@ -202,6 +202,7 @@ pub fn run_repair_sweep(config: &RepairSweepConfig) -> RepairSweep {
                     policy,
                     detector: DetectorConfig::default_desktop_grid()
                         .with_timeout(timeout_hours * 3_600.0),
+                    detection: DetectionKind::PerNodeTimeout,
                     bandwidth: BandwidthBudget::symmetric(bandwidth),
                     sample_period_secs: 3_600.0,
                 };

@@ -304,6 +304,80 @@ pub fn render_placement_sweep(sweep: &PlacementSweep) -> String {
             total(|&(o, _)| o),
         );
     }
+    if !sweep.detector_rows.is_empty() {
+        out.push('\n');
+        out.push_str(&render_detector_axis(sweep));
+    }
+    out
+}
+
+/// Render the placement sweep's detector axis: detection policy × grouped
+/// topology at fixed domain-spread placement.
+fn render_detector_axis(sweep: &PlacementSweep) -> String {
+    let mut t = TableBuilder::new(
+        "Detector sweep: per-node vs outage-aware detection under grouped churn \
+         (domain-spread placement, equal bandwidth)"
+            .to_string(),
+        &[
+            "Detector",
+            "Topology",
+            "Files",
+            "Lost",
+            "Avail (mean)",
+            "Repair traffic",
+            "Repair/useful",
+            "Wasted",
+            "Wasted%",
+            "False decl.",
+            "Held",
+            "Cancelled",
+            "Outages",
+        ],
+    );
+    for row in &sweep.detector_rows {
+        t.row(&[
+            row.detector.clone(),
+            row.topology.clone(),
+            format!("{}", row.files_total),
+            format!("{}", row.files_lost),
+            format!("{:.1}%", row.availability_mean_pct),
+            format!("{}", row.repair_bytes),
+            format!("{:.4}", row.repair_per_useful_byte),
+            format!("{}", row.wasted_repair_bytes),
+            format!("{:.1}%", row.wasted_pct),
+            format!("{}", row.false_declarations),
+            format!("{}", row.declarations_held),
+            format!("{}", row.held_cancelled),
+            format!("{}", row.group_outages),
+        ]);
+    }
+    let mut out = t.render();
+    // Headline the repair-bill delta at every matched pairing.
+    for (base, aware) in sweep.detector_pairs() {
+        let b = &sweep.detector_rows[base];
+        let a = &sweep.detector_rows[aware];
+        let ratio = if a.repair_bytes.is_zero() {
+            f64::INFINITY
+        } else {
+            b.repair_bytes.as_u64() as f64 / a.repair_bytes.as_u64() as f64
+        };
+        let _ = writeln!(
+            out,
+            "{} vs per-node @ {}: {:.4} vs {:.4} repair/useful ({:.1}x less), \
+             {} vs {} files lost, wasted {:.1}% vs {:.1}%, {} held / {} cancelled",
+            a.detector,
+            a.topology,
+            a.repair_per_useful_byte,
+            b.repair_per_useful_byte,
+            ratio,
+            a.files_lost,
+            b.files_lost,
+            a.wasted_pct,
+            b.wasted_pct,
+            a.declarations_held,
+            a.held_cancelled,
+        );
+    }
     out
 }
 

@@ -9,7 +9,9 @@
 //!
 //! * [`Topology`] — the site → rack/lab → node hierarchy with per-node domain
 //!   lookup, built synthetically from a seed or derived from trace
-//!   capacity/session data;
+//!   capacity/session data — plus [`DomainView`], the cheap shared membership
+//!   snapshot consumers like the outage-aware failure detector query without
+//!   owning the topology;
 //! * [`PlacementStrategy`] — the pluggable target-selection policy, with
 //!   [`OverlayRandom`] (the paper's oblivious DHT behaviour, extracted),
 //!   [`DomainSpread`] (no chunk keeps more than its tolerable losses in any
@@ -39,4 +41,4 @@ pub use strategy::{
     CapacityWeighted, ClusterView, DomainSpread, OverlayRandom, PlacementStrategy, ProbeView,
     RepairRequest, StrategyKind,
 };
-pub use topology::{Domain, DomainId, Topology};
+pub use topology::{Domain, DomainId, DomainView, Topology};

@@ -21,9 +21,70 @@ use peerstripe_overlay::NodeRef;
 use peerstripe_sim::{ByteSize, DetRng};
 use peerstripe_trace::SessionTrace;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Index of a failure domain within a [`Topology`].
 pub type DomainId = u32;
+
+/// A cheap, shareable snapshot of domain membership: node → domain lookup and
+/// per-domain member lists behind one [`Arc`].
+///
+/// The failure detector (and any other subsystem that only needs to answer
+/// "which lab is this node in, and who else is in it?") holds a `DomainView`
+/// instead of owning a [`Topology`]: cloning is a refcount bump, the placement
+/// layer keeps sole ownership of the full hierarchy (labels, sites, builders),
+/// and both sides observe the same membership without copying it per
+/// consumer.  Obtain one with [`Topology::domain_view`], or use
+/// [`DomainView::unaffiliated`] where no topology is in play (every lookup
+/// then answers `None`, which consumers must treat as "no correlation
+/// information").
+#[derive(Debug, Clone)]
+pub struct DomainView {
+    inner: Arc<DomainViewInner>,
+}
+
+#[derive(Debug)]
+struct DomainViewInner {
+    domain_of: Vec<Option<DomainId>>,
+    members: Vec<Vec<NodeRef>>,
+}
+
+impl DomainView {
+    /// A view with no domains at all: every node is unaffiliated.
+    pub fn unaffiliated() -> Self {
+        DomainView {
+            inner: Arc::new(DomainViewInner {
+                domain_of: Vec::new(),
+                members: Vec::new(),
+            }),
+        }
+    }
+
+    /// The failure domain of a node, or `None` for nodes outside the hierarchy.
+    pub fn domain_of(&self, node: NodeRef) -> Option<DomainId> {
+        self.inner.domain_of.get(node).copied().flatten()
+    }
+
+    /// A domain's member nodes.
+    pub fn members(&self, domain: DomainId) -> &[NodeRef] {
+        &self.inner.members[domain as usize]
+    }
+
+    /// Number of members in a domain.
+    pub fn domain_size(&self, domain: DomainId) -> usize {
+        self.inner.members[domain as usize].len()
+    }
+
+    /// Number of domains in the view.
+    pub fn domain_count(&self) -> usize {
+        self.inner.members.len()
+    }
+
+    /// True if the view carries no domain information at all.
+    pub fn is_unaffiliated(&self) -> bool {
+        self.inner.members.is_empty()
+    }
+}
 
 /// One failure domain: a rack, lab, or office that fails as a unit.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -235,6 +296,20 @@ impl Topology {
             .map(|(i, d)| (i as DomainId, d))
     }
 
+    /// Snapshot this topology's membership into a shareable [`DomainView`].
+    ///
+    /// The view copies only the membership structure (not labels or sites), so
+    /// subsequent clones of the view are refcount bumps and the detector side
+    /// never holds the placement layer's full hierarchy.
+    pub fn domain_view(&self) -> DomainView {
+        DomainView {
+            inner: Arc::new(DomainViewInner {
+                domain_of: self.domain_of.clone(),
+                members: self.domains.iter().map(|d| d.members.clone()).collect(),
+            }),
+        }
+    }
+
     /// Size of the largest domain.
     pub fn max_domain_size(&self) -> usize {
         self.domains
@@ -313,6 +388,30 @@ mod tests {
         let labels: Vec<&str> = topo.domains().map(|(d, _)| topo.label(d)).collect();
         assert!(labels.iter().any(|l| l.starts_with("office/")));
         assert!(labels.iter().any(|l| l.starts_with("lab/")));
+    }
+
+    #[test]
+    fn domain_view_mirrors_the_topology_and_shares_storage() {
+        let topo = Topology::uniform_groups(23, 5);
+        let view = topo.domain_view();
+        assert_eq!(view.domain_count(), topo.domain_count());
+        assert!(!view.is_unaffiliated());
+        for n in 0..23 {
+            assert_eq!(view.domain_of(n), topo.domain_of(n));
+        }
+        for (d, domain) in topo.domains() {
+            assert_eq!(view.members(d), &domain.members[..]);
+            assert_eq!(view.domain_size(d), domain.members.len());
+        }
+        assert_eq!(view.domain_of(100), None, "unknown nodes unaffiliated");
+        // Clones share the same snapshot rather than copying it.
+        let clone = view.clone();
+        assert!(std::ptr::eq(view.members(0), clone.members(0)));
+
+        let empty = DomainView::unaffiliated();
+        assert!(empty.is_unaffiliated());
+        assert_eq!(empty.domain_count(), 0);
+        assert_eq!(empty.domain_of(0), None);
     }
 
     #[test]

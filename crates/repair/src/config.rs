@@ -1,6 +1,7 @@
 //! Configuration of the churn process, failure detector, repair policies and
 //! bandwidth budgets.
 
+use crate::detection::DetectionKind;
 use peerstripe_placement::Topology;
 use peerstripe_sim::dist::{Distribution, Exponential};
 use peerstripe_sim::{ByteSize, DetRng};
@@ -179,6 +180,12 @@ pub struct DetectorConfig {
     /// and its blocks are written off for regeneration.  The knob that trades
     /// false-positive repair traffic against the window of reduced redundancy.
     pub permanence_timeout_secs: f64,
+    /// Floor on the deferred-repair retry period, in seconds.  A repair that
+    /// cannot run (no decode sources or placement targets) retries after
+    /// `max(probe_period_secs, retry_floor_secs)` — the floor keeps sub-minute
+    /// probe configurations from flooding the event queue with retries, while
+    /// staying an explicit knob instead of a hard-coded constant.
+    pub retry_floor_secs: f64,
 }
 
 impl DetectorConfig {
@@ -190,6 +197,7 @@ impl DetectorConfig {
             probe_period_secs: 300.0,
             detection_lag_secs: 30.0,
             permanence_timeout_secs: 48.0 * 3_600.0,
+            retry_floor_secs: 60.0,
         }
     }
 
@@ -197,6 +205,11 @@ impl DetectorConfig {
     pub fn with_timeout(mut self, permanence_timeout_secs: f64) -> Self {
         self.permanence_timeout_secs = permanence_timeout_secs;
         self
+    }
+
+    /// The effective deferred-repair retry period: the probe period, floored.
+    pub fn retry_period_secs(&self) -> f64 {
+        self.probe_period_secs.max(self.retry_floor_secs)
     }
 }
 
@@ -226,6 +239,9 @@ pub struct RepairConfig {
     pub policy: RepairPolicy,
     /// Failure-detector timing.
     pub detector: DetectorConfig,
+    /// Which failure-detection policy judges absences (per-node timeout or
+    /// the outage-aware correlated-absence classifier).
+    pub detection: DetectionKind,
     /// Per-node repair bandwidth budgets.
     pub bandwidth: BandwidthBudget,
     /// Seconds between periodic availability/durability samples.
@@ -233,11 +249,13 @@ pub struct RepairConfig {
 }
 
 impl RepairConfig {
-    /// Eager repair, default detector, 1 MB/s symmetric budgets, hourly samples.
+    /// Eager repair, default per-node detector, 1 MB/s symmetric budgets,
+    /// hourly samples.
     pub fn default_desktop_grid() -> Self {
         RepairConfig {
             policy: RepairPolicy::Eager,
             detector: DetectorConfig::default_desktop_grid(),
+            detection: DetectionKind::PerNodeTimeout,
             bandwidth: BandwidthBudget::symmetric(ByteSize::mb(1)),
             sample_period_secs: 3_600.0,
         }
@@ -246,6 +264,12 @@ impl RepairConfig {
     /// Use the given repair policy.
     pub fn with_policy(mut self, policy: RepairPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Use the given failure-detection policy.
+    pub fn with_detection(mut self, detection: DetectionKind) -> Self {
+        self.detection = detection;
         self
     }
 }

@@ -1,85 +1,75 @@
-//! The failure detector: probe-based departure detection plus the permanence
-//! timeout that separates transient churn from real failures.
+//! The per-node permanence-timeout policy: the classic failure detector.
 //!
 //! A departure at time `t` is *noticed* at the next probe boundary after `t`
 //! plus the configured detection lag, and *declared permanent* once the node
 //! has been away for the permanence timeout.  Declarations are guarded by a
 //! per-node generation counter so that a node returning before its declaration
-//! fires invalidates the stale event instead of being written off.
+//! fires invalidates the stale event instead of being written off.  Every node
+//! is judged independently — which is exactly the behaviour the outage-aware
+//! policy exists to improve on when absences are correlated.
 
+use super::{schedule_declaration, DeclarationVerdict, DetectionPolicy, DownTracker};
 use crate::config::DetectorConfig;
+use crate::detection::PendingDeclaration;
 use peerstripe_overlay::NodeRef;
 use peerstripe_sim::SimTime;
 
-/// A pending declaration handed back by [`FailureDetector::node_down`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PendingDeclaration {
-    /// The down generation this declaration belongs to.
-    pub generation: u64,
-    /// When the node is first noticed as down.
-    pub detected_at: SimTime,
-    /// When the node should be declared permanently dead if still away.
-    pub declare_at: SimTime,
-}
-
-/// Tracks which nodes are down and validates declaration events.
+/// Tracks which nodes are down and validates declaration events, one node at
+/// a time.
 #[derive(Debug, Clone)]
-pub struct FailureDetector {
+pub struct PerNodeTimeout {
     config: DetectorConfig,
-    generation: Vec<u64>,
-    down_since: Vec<Option<SimTime>>,
+    tracker: DownTracker,
 }
 
-impl FailureDetector {
+impl PerNodeTimeout {
     /// Create a detector for `nodes` participants.
     pub fn new(nodes: usize, config: DetectorConfig) -> Self {
         assert!(
             config.probe_period_secs > 0.0,
             "probe period must be positive"
         );
-        FailureDetector {
+        PerNodeTimeout {
             config,
-            generation: vec![0; nodes],
-            down_since: vec![None; nodes],
+            tracker: DownTracker::new(nodes),
         }
-    }
-
-    /// The detector's timing configuration.
-    pub fn config(&self) -> &DetectorConfig {
-        &self.config
-    }
-
-    /// Record a departure at `now`; returns the declaration to schedule.
-    pub fn node_down(&mut self, node: NodeRef, now: SimTime) -> PendingDeclaration {
-        self.down_since[node] = Some(now);
-        let t = now.as_secs_f64();
-        let p = self.config.probe_period_secs;
-        // The next probe strictly after the departure notices it.
-        let detected = (t / p).floor() * p + p + self.config.detection_lag_secs;
-        let declare = detected.max(t + self.config.permanence_timeout_secs);
-        PendingDeclaration {
-            generation: self.generation[node],
-            detected_at: SimTime::from_secs_f64(detected),
-            declare_at: SimTime::from_secs_f64(declare),
-        }
-    }
-
-    /// Record a return: bumps the node's generation so any pending declaration
-    /// for the previous down period is invalidated.
-    pub fn node_up(&mut self, node: NodeRef) {
-        self.down_since[node] = None;
-        self.generation[node] += 1;
     }
 
     /// True if the node is still down *and* the declaration belongs to the
     /// current down period (not a stale event from before a return).
     pub fn confirm(&self, node: NodeRef, generation: u64) -> bool {
-        self.down_since[node].is_some() && self.generation[node] == generation
+        self.tracker.confirm(node, generation)
+    }
+}
+
+impl DetectionPolicy for PerNodeTimeout {
+    fn config(&self) -> &DetectorConfig {
+        &self.config
     }
 
-    /// Since when the node has been down, if it is.
-    pub fn down_since(&self, node: NodeRef) -> Option<SimTime> {
-        self.down_since[node]
+    fn node_down(&mut self, node: NodeRef, now: SimTime) -> PendingDeclaration {
+        let generation = self.tracker.down(node, now);
+        schedule_declaration(&self.config, now, generation)
+    }
+
+    fn node_up(&mut self, node: NodeRef, _now: SimTime) {
+        self.tracker.up(node);
+    }
+
+    fn decide(&mut self, node: NodeRef, generation: u64, _now: SimTime) -> DeclarationVerdict {
+        if self.tracker.confirm(node, generation) {
+            DeclarationVerdict::Declare
+        } else {
+            DeclarationVerdict::Cancel
+        }
+    }
+
+    fn down_since(&self, node: NodeRef) -> Option<SimTime> {
+        self.tracker.down_since(node)
+    }
+
+    fn label(&self) -> String {
+        "per-node".to_string()
     }
 }
 
@@ -87,13 +77,14 @@ impl FailureDetector {
 mod tests {
     use super::*;
 
-    fn detector() -> FailureDetector {
-        FailureDetector::new(
+    fn detector() -> PerNodeTimeout {
+        PerNodeTimeout::new(
             4,
             DetectorConfig {
                 probe_period_secs: 100.0,
                 detection_lag_secs: 10.0,
                 permanence_timeout_secs: 1_000.0,
+                retry_floor_secs: 60.0,
             },
         )
     }
@@ -111,12 +102,13 @@ mod tests {
 
     #[test]
     fn short_timeout_is_dominated_by_detection() {
-        let mut d = FailureDetector::new(
+        let mut d = PerNodeTimeout::new(
             1,
             DetectorConfig {
                 probe_period_secs: 100.0,
                 detection_lag_secs: 10.0,
                 permanence_timeout_secs: 5.0,
+                retry_floor_secs: 60.0,
             },
         );
         let pending = d.node_down(0, SimTime::from_secs(250));
@@ -130,7 +122,7 @@ mod tests {
         let mut d = detector();
         let pending = d.node_down(2, SimTime::from_secs(50));
         assert!(d.confirm(2, pending.generation));
-        d.node_up(2);
+        d.node_up(2, SimTime::from_secs(60));
         assert!(!d.confirm(2, pending.generation), "stale generation");
         assert_eq!(d.down_since(2), None);
         // A fresh down period gets a fresh generation.
@@ -138,5 +130,21 @@ mod tests {
         assert_ne!(second.generation, pending.generation);
         assert!(d.confirm(2, second.generation));
         assert!(!d.confirm(2, pending.generation));
+    }
+
+    #[test]
+    fn verdicts_mirror_confirmation() {
+        let mut d = detector();
+        let pending = d.node_down(1, SimTime::from_secs(10));
+        assert_eq!(
+            d.decide(1, pending.generation, pending.declare_at),
+            DeclarationVerdict::Declare
+        );
+        d.node_up(1, SimTime::from_secs(20));
+        assert_eq!(
+            d.decide(1, pending.generation, pending.declare_at),
+            DeclarationVerdict::Cancel,
+            "a return cancels the held declaration"
+        );
     }
 }

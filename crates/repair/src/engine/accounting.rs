@@ -1,0 +1,193 @@
+//! Incremental availability/durability accounting and the wasted-repair
+//! attribution ledger.
+//!
+//! Availability is tracked per event in O(blocks touched): every chunk keeps
+//! a live-block counter, every file a failed-chunk counter, and the engine a
+//! single unavailable-file total.  [`MaintenanceEngine::accounting_is_consistent`]
+//! recomputes everything from scratch and is the oracle the property tests
+//! compare against.
+//!
+//! [`WriteOffAccounting`] answers the question the outage-aware detector
+//! exists for: *how much repair traffic did we spend regenerating blocks of
+//! nodes that were never actually gone?*  Every block a declaration writes
+//! off is queued against its chunk with the declared owner; every regenerated
+//! block pops one queued write-off and attributes its share of the repair's
+//! traffic to that owner.  If the owner later returns (a false declaration),
+//! the attributed bytes — plus any share attributed after the return, since
+//! the written-off blocks stay lost either way — are flushed into
+//! `wasted_repair_bytes`.  Traffic attributed to owners that never return is
+//! genuine repair work and is never counted wasted.
+
+use super::core::MaintenanceEngine;
+use peerstripe_overlay::NodeRef;
+use peerstripe_sim::ByteSize;
+use std::collections::VecDeque;
+
+/// Attribution of regenerated blocks to the declarations that caused them.
+#[derive(Debug, Clone)]
+pub(super) struct WriteOffAccounting {
+    /// Per chunk: the declared owners of its written-off blocks, oldest first
+    /// (one entry per block the declaration deregistered).
+    pending: Vec<VecDeque<NodeRef>>,
+    /// Per node: repair bytes attributed to its written-off blocks while the
+    /// node is still declared-away.  Flushed to "wasted" on a false return;
+    /// dropped (genuine repair work) if the node never returns.
+    attributed: Vec<ByteSize>,
+    /// Per node: true once the node's last declaration was falsified by a
+    /// return — later regenerations of its written-off blocks count as wasted
+    /// immediately.
+    falsified: Vec<bool>,
+}
+
+impl WriteOffAccounting {
+    pub(super) fn new(chunks: usize, nodes: usize) -> Self {
+        WriteOffAccounting {
+            pending: vec![VecDeque::new(); chunks],
+            attributed: vec![ByteSize::ZERO; nodes],
+            falsified: vec![false; nodes],
+        }
+    }
+
+    /// A declaration deregistered one of `owner`'s blocks on `chunk`.
+    pub(super) fn block_written_off(&mut self, chunk: u32, owner: NodeRef) {
+        self.pending[chunk as usize].push_back(owner);
+        // A fresh declaration starts a fresh attribution cycle.
+        self.falsified[owner] = false;
+    }
+
+    /// `chunk` was written off entirely: no repair will ever regenerate its
+    /// blocks, so its queued write-offs can never be attributed.
+    pub(super) fn chunk_lost(&mut self, chunk: u32) {
+        self.pending[chunk as usize].clear();
+    }
+
+    /// One block of `chunk` was regenerated at a traffic cost of `share`.
+    /// Returns the bytes that are *already known* to be wasted (the causing
+    /// declaration was falsified before this repair landed).
+    pub(super) fn block_regenerated(
+        &mut self,
+        chunk: u32,
+        share: ByteSize,
+        declared: &[bool],
+    ) -> ByteSize {
+        let Some(owner) = self.pending[chunk as usize].pop_front() else {
+            // A top-up beyond the queued write-offs (e.g. re-running after a
+            // dropped placement already consumed the entry): unattributable.
+            return ByteSize::ZERO;
+        };
+        if declared[owner] {
+            // Owner still away: park the bytes until we learn whether the
+            // declaration was right.
+            self.attributed[owner] += share;
+            ByteSize::ZERO
+        } else if self.falsified[owner] {
+            // Owner already came back: this regeneration exists only because
+            // of a declaration we know was false.
+            share
+        } else {
+            ByteSize::ZERO
+        }
+    }
+
+    /// `node` returned after being declared dead: every byte attributed so
+    /// far was wasted, and future attributions to this declaration will be
+    /// too.  Returns the bytes to flush into the wasted counter.
+    pub(super) fn settle_false_return(&mut self, node: NodeRef) -> ByteSize {
+        self.falsified[node] = true;
+        std::mem::take(&mut self.attributed[node])
+    }
+}
+
+impl MaintenanceEngine {
+    /// Verify the engine's incremental availability accounting against a full
+    /// recomputation from the ledger and the overlay: per-chunk live-block
+    /// counters, per-file failed-chunk counters, and the unavailable-file
+    /// total must all balance.  O(blocks); used by the grouped-churn
+    /// conservation property tests.
+    pub fn accounting_is_consistent(&self) -> bool {
+        let mut failed_chunks = vec![0u32; self.ledger.file_count()];
+        for chunk in 0..self.ledger.chunk_count() as u32 {
+            let ci = chunk as usize;
+            let fi = self.ledger.file_of(chunk) as usize;
+            if self.ledger.is_lost(chunk) {
+                // Lost chunks freeze their availability accounting; they stay
+                // failed forever.
+                failed_chunks[fi] += 1;
+                continue;
+            }
+            let alive = self
+                .ledger
+                .blocks(chunk)
+                .iter()
+                .filter(|(n, _)| self.cluster.overlay().is_alive(*n))
+                .count() as u32;
+            if alive != self.alive_blocks[ci] {
+                return false;
+            }
+            if alive < self.ledger.needed(chunk) as u32 {
+                failed_chunks[fi] += 1;
+            }
+        }
+        let unavailable = failed_chunks.iter().filter(|&&c| c > 0).count() as u64;
+        failed_chunks
+            .iter()
+            .zip(&self.file_failed_chunks)
+            .all(|(recomputed, tracked)| recomputed == tracked)
+            && unavailable == self.files_unavailable
+    }
+
+    /// A block of `chunk` went offline (its holder departed).
+    pub(super) fn chunk_block_down(&mut self, chunk: u32) {
+        let ci = chunk as usize;
+        if self.ledger.is_lost(chunk) {
+            return;
+        }
+        let needed = self.ledger.needed(chunk) as u32;
+        let was_ok = self.alive_blocks[ci] >= needed;
+        self.alive_blocks[ci] = self.alive_blocks[ci].saturating_sub(1);
+        if was_ok && self.alive_blocks[ci] < needed {
+            let fi = self.ledger.file_of(chunk) as usize;
+            self.file_failed_chunks[fi] += 1;
+            if self.file_failed_chunks[fi] == 1 {
+                self.files_unavailable += 1;
+            }
+        }
+    }
+
+    /// A block of `chunk` came (back) online.
+    pub(super) fn chunk_block_up(&mut self, chunk: u32) {
+        let ci = chunk as usize;
+        if self.ledger.is_lost(chunk) {
+            return;
+        }
+        let needed = self.ledger.needed(chunk) as u32;
+        let was_ok = self.alive_blocks[ci] >= needed;
+        self.alive_blocks[ci] += 1;
+        if !was_ok && self.alive_blocks[ci] >= needed {
+            let fi = self.ledger.file_of(chunk) as usize;
+            self.file_failed_chunks[fi] = self.file_failed_chunks[fi].saturating_sub(1);
+            if self.file_failed_chunks[fi] == 0 {
+                self.files_unavailable = self.files_unavailable.saturating_sub(1);
+            }
+        }
+    }
+
+    /// `chunk` fell below its decode threshold with its lost blocks written
+    /// off: the data is gone for good.
+    pub(super) fn write_off(&mut self, chunk: u32) {
+        if self.ledger.is_lost(chunk) {
+            return;
+        }
+        self.ledger.mark_lost(chunk);
+        self.writeoffs.chunk_lost(chunk);
+        let fi = self.ledger.file_of(chunk) as usize;
+        self.file_lost_chunks[fi] += 1;
+        self.metrics.record_loss(
+            self.ledger.chunk_size(chunk),
+            self.file_lost_chunks[fi] == 1,
+        );
+        // A lost chunk is unavailable forever; freeze it into the availability
+        // accounting (it was already below threshold — losing placed blocks
+        // implies losing live ones — so nothing to transition here).
+    }
+}

@@ -1,0 +1,431 @@
+//! The [`MaintenanceEngine`] itself: state, construction, the run loop,
+//! repair triggering, and the summary report.
+
+use super::accounting::WriteOffAccounting;
+use super::events::MaintenanceEvent;
+use crate::config::{ChurnProcess, RepairConfig};
+use crate::detection::DetectionPolicy;
+use crate::scheduler::RepairScheduler;
+use peerstripe_core::{DamageLedger, MaintenanceMetrics, ManifestStore, StorageCluster};
+use peerstripe_overlay::NodeRef;
+use peerstripe_placement::{DomainView, OverlayRandom, PlacementStrategy, RepairRequest, Topology};
+use peerstripe_sim::dist::{Distribution, Exponential};
+use peerstripe_sim::{ByteSize, DetRng, EventQueue, SimTime};
+
+/// Aggregate outcome of a maintenance run.
+#[derive(Debug, Clone)]
+pub struct MaintenanceReport {
+    /// Virtual time the engine has reached.
+    pub sim_time: SimTime,
+    /// Events processed.
+    pub events: u64,
+    /// Files tracked.
+    pub files_total: u64,
+    /// Files permanently lost.
+    pub files_lost: u64,
+    /// Files unavailable at the end of the run.
+    pub files_unavailable: u64,
+    /// Mean sampled availability percentage.
+    pub availability_mean_pct: f64,
+    /// Lowest sampled availability percentage.
+    pub availability_min_pct: f64,
+    /// Total repair traffic.
+    pub repair_bytes: ByteSize,
+    /// Repair traffic spent regenerating blocks of nodes that later returned
+    /// — traffic a smarter detector would not have spent.
+    pub wasted_repair_bytes: ByteSize,
+    /// Individual blocks regenerated.
+    pub blocks_regenerated: u64,
+    /// User bytes under maintenance.
+    pub useful_bytes: ByteSize,
+    /// Repair traffic per useful byte protected.
+    pub repair_per_useful_byte: f64,
+    /// Permanent departures drawn by the churn process.
+    pub permanent_failures: u64,
+    /// Transient departures drawn by the churn process.
+    pub transient_departures: u64,
+    /// Whole-group outage events drawn by the grouped churn mode.
+    pub group_outages: u64,
+    /// Node departures caused by group outages.
+    pub group_departures: u64,
+    /// Nodes declared dead that later returned.
+    pub false_declarations: u64,
+    /// Down periods whose declaration the detector held at least once
+    /// (outage-aware policy classifying correlated absence).
+    pub declarations_held: u64,
+    /// Held declarations cancelled by the node returning — each one a
+    /// write-off (and its regeneration wave) that never happened.
+    pub held_cancelled: u64,
+    /// The failure-detection policy's label.
+    pub detector: String,
+}
+
+impl MaintenanceReport {
+    /// Wasted repair traffic as a fraction of all repair traffic (0 when no
+    /// repairs ran).
+    pub fn wasted_repair_fraction(&self) -> f64 {
+        if self.repair_bytes.is_zero() {
+            0.0
+        } else {
+            self.wasted_repair_bytes.as_u64() as f64 / self.repair_bytes.as_u64() as f64
+        }
+    }
+}
+
+/// The event-driven churn & repair engine.
+pub struct MaintenanceEngine {
+    pub(super) cluster: StorageCluster,
+    pub(super) ledger: DamageLedger,
+    pub(super) queue: EventQueue<MaintenanceEvent>,
+    pub(super) detector: Box<dyn DetectionPolicy>,
+    pub(super) scheduler: RepairScheduler,
+    pub(super) churn: ChurnProcess,
+    pub(super) sample_period: SimTime,
+    pub(super) rng: DetRng,
+    // Per chunk, indexed like the ledger.
+    pub(super) alive_blocks: Vec<u32>,
+    pub(super) in_flight: Vec<u32>,
+    pub(super) target_blocks: Vec<u32>,
+    pub(super) block_size: Vec<ByteSize>,
+    pub(super) retry_pending: Vec<bool>,
+    // Per file.
+    pub(super) file_failed_chunks: Vec<u32>,
+    pub(super) file_lost_chunks: Vec<u32>,
+    pub(super) files_unavailable: u64,
+    // Per node.
+    pub(super) permanent: Vec<bool>,
+    pub(super) declared: Vec<bool>,
+    /// True while the node's declaration is being held by the detector.
+    pub(super) hold_active: Vec<bool>,
+    /// Session generation per node; bumped when a group outage cuts a session
+    /// short so the node's stale Depart/Return chain is invalidated.
+    pub(super) session_gen: Vec<u64>,
+    // Grouped churn (indexed by churn-topology domain).
+    pub(super) group_down_until: Vec<SimTime>,
+    pub(super) grouped_rng: DetRng,
+    // Placement of rebuilt blocks.
+    pub(super) placement: Box<dyn PlacementStrategy>,
+    pub(super) topology: Option<Topology>,
+    pub(super) writeoffs: WriteOffAccounting,
+    pub(super) metrics: MaintenanceMetrics,
+    pub(super) horizon: SimTime,
+}
+
+impl MaintenanceEngine {
+    /// Build the engine over a loaded deployment.
+    ///
+    /// `cluster` and `manifests` describe the system at time zero (every node
+    /// up); `seed` makes the whole run — churn draws, permanence coin flips,
+    /// placement probes — reproducible.  The failure-detection policy comes
+    /// from `config.detection`; the outage-aware policy correlates over the
+    /// grouped-churn topology's [`DomainView`] when one is configured
+    /// (override with [`MaintenanceEngine::with_detector`]).
+    pub fn new(
+        cluster: StorageCluster,
+        manifests: &ManifestStore,
+        churn: ChurnProcess,
+        config: RepairConfig,
+        seed: u64,
+    ) -> Self {
+        let ledger = DamageLedger::build(manifests);
+        let nodes = cluster.node_count();
+        let chunks = ledger.chunk_count();
+        let mut alive_blocks = Vec::with_capacity(chunks);
+        let mut target_blocks = Vec::with_capacity(chunks);
+        let mut block_size = Vec::with_capacity(chunks);
+        for c in 0..chunks as u32 {
+            let blocks = ledger.blocks(c);
+            alive_blocks.push(blocks.len() as u32);
+            target_blocks.push(blocks.len() as u32);
+            block_size.push(
+                blocks
+                    .first()
+                    .map(|(_, s)| *s)
+                    .unwrap_or_else(|| ByteSize::bytes(1)),
+            );
+        }
+        let mut rng = DetRng::new(seed).fork("maintenance");
+        let group_count = churn
+            .grouped
+            .as_ref()
+            .map(|g| g.topology.domain_count())
+            .unwrap_or(0);
+        // The grouped mode's topology doubles as the default placement
+        // topology, so repair re-placement is domain-aware whenever the churn
+        // is (override with [`MaintenanceEngine::with_placement`]); its
+        // domain view likewise feeds the outage-aware detector.
+        let topology = churn.grouped.as_ref().map(|g| g.topology.clone());
+        let view = topology
+            .as_ref()
+            .map(|t| t.domain_view())
+            .unwrap_or_else(DomainView::unaffiliated);
+        let mut engine = MaintenanceEngine {
+            detector: config.detection.build(nodes, config.detector, view),
+            scheduler: RepairScheduler::new(nodes, config.bandwidth, config.policy),
+            sample_period: SimTime::from_secs_f64(config.sample_period_secs),
+            queue: EventQueue::new(),
+            file_failed_chunks: vec![0; ledger.file_count()],
+            file_lost_chunks: vec![0; ledger.file_count()],
+            files_unavailable: 0,
+            in_flight: vec![0; chunks],
+            retry_pending: vec![false; chunks],
+            permanent: vec![false; nodes],
+            declared: vec![false; nodes],
+            hold_active: vec![false; nodes],
+            session_gen: vec![0; nodes],
+            group_down_until: vec![SimTime::ZERO; group_count],
+            grouped_rng: DetRng::new(seed).fork("grouped-churn"),
+            placement: Box::new(OverlayRandom::new()),
+            topology,
+            writeoffs: WriteOffAccounting::new(chunks, nodes),
+            metrics: MaintenanceMetrics::new(),
+            horizon: SimTime::ZERO,
+            cluster,
+            ledger,
+            churn,
+            alive_blocks,
+            target_blocks,
+            block_size,
+            rng: rng.fork("engine"),
+        };
+        // Every node starts up, already partway through a session: the first
+        // departure lands at a uniformly random *residual* of a sampled
+        // session length, so time zero is a steady-state snapshot rather than
+        // a synchronised wave of fresh sessions all expiring together.
+        for node in 0..nodes {
+            let session = engine.churn.sessions.sample_session(&mut rng);
+            let residual = session * rng.next_f64();
+            engine.queue.schedule_at(
+                SimTime::from_secs_f64(residual),
+                MaintenanceEvent::Depart { node, session: 0 },
+            );
+        }
+        // Grouped mode: every domain's first outage arrives after an
+        // exponential wait on its own stream, so the independent-session draws
+        // above are byte-identical with and without grouping.
+        if let Some(grouped) = &engine.churn.grouped {
+            let rate = 1.0 / grouped.mean_outage_interval_secs;
+            for group in 0..group_count as u32 {
+                let wait = Exponential::new(rate).sample(&mut engine.grouped_rng);
+                engine.queue.schedule_at(
+                    SimTime::from_secs_f64(wait),
+                    MaintenanceEvent::GroupDepart { group },
+                );
+            }
+        }
+        engine
+            .queue
+            .schedule_at(engine.sample_period, MaintenanceEvent::Sample);
+        engine
+    }
+
+    /// Route rebuilt-block placement through an explicit strategy (and
+    /// optionally a different topology than the churn's).  The default is
+    /// [`OverlayRandom`] over the grouped-churn topology, if any.
+    pub fn with_placement(
+        mut self,
+        strategy: Box<dyn PlacementStrategy>,
+        topology: Option<Topology>,
+    ) -> Self {
+        self.placement = strategy;
+        if topology.is_some() {
+            self.topology = topology;
+        }
+        self
+    }
+
+    /// Replace the failure-detection policy with an explicitly constructed
+    /// one — e.g. an [`crate::detection::OutageAware`] over a different
+    /// [`DomainView`] than the grouped-churn topology's.  Call before running:
+    /// detection state (who is down since when) does not carry over.
+    pub fn with_detector(mut self, detector: Box<dyn DetectionPolicy>) -> Self {
+        assert_eq!(
+            self.queue.processed(),
+            0,
+            "detector must be swapped before the run starts"
+        );
+        self.detector = detector;
+        self
+    }
+
+    /// Advance the simulation by `duration` of virtual time.
+    pub fn run_for(&mut self, duration: SimTime) {
+        self.horizon += duration;
+        let deadline = self.horizon;
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.run_until(deadline, |q, now, event| self.handle(q, now, event));
+        self.queue = queue;
+    }
+
+    /// The metrics accumulated so far.
+    pub fn metrics(&self) -> &MaintenanceMetrics {
+        &self.metrics
+    }
+
+    /// The block ledger (current placements and losses).
+    pub fn ledger(&self) -> &DamageLedger {
+        &self.ledger
+    }
+
+    /// The cluster under maintenance.
+    pub fn cluster(&self) -> &StorageCluster {
+        &self.cluster
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Files currently unavailable.
+    pub fn files_unavailable(&self) -> u64 {
+        self.files_unavailable
+    }
+
+    /// The failure-detection policy's label.
+    pub fn detector_label(&self) -> String {
+        self.detector.label()
+    }
+
+    /// Summarise the run.
+    pub fn report(&self) -> MaintenanceReport {
+        let useful = self.ledger.tracked_bytes();
+        MaintenanceReport {
+            sim_time: self.queue.now(),
+            events: self.queue.processed(),
+            files_total: self.ledger.file_count() as u64,
+            files_lost: self.metrics.files_lost,
+            files_unavailable: self.files_unavailable,
+            availability_mean_pct: self.metrics.mean_availability_pct(),
+            availability_min_pct: self.metrics.min_availability_pct(),
+            repair_bytes: self.metrics.repair_bytes,
+            wasted_repair_bytes: self.metrics.wasted_repair_bytes,
+            blocks_regenerated: self.metrics.blocks_regenerated,
+            useful_bytes: useful,
+            repair_per_useful_byte: self.metrics.repair_bytes_per_useful_byte(useful),
+            permanent_failures: self.metrics.permanent_failures,
+            transient_departures: self.metrics.transient_departures,
+            group_outages: self.metrics.group_outages,
+            group_departures: self.metrics.group_departures,
+            false_declarations: self.metrics.false_declarations,
+            declarations_held: self.metrics.declarations_held,
+            held_cancelled: self.metrics.held_cancelled,
+            detector: self.detector.label(),
+        }
+    }
+
+    /// True if the grouped-churn domain is currently in an outage.
+    pub fn group_outage_active(&self, group: u32) -> bool {
+        self.group_down_until
+            .get(group as usize)
+            .is_some_and(|&until| self.queue.now() < until)
+    }
+
+    /// The topology rebuilt blocks are placed against, if any.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// Decide whether (and how much) to regenerate for `chunk`, and charge the
+    /// transfers.  Defers silently when decode sources or placement targets are
+    /// not currently available — the next return/declaration/completion event
+    /// touching the chunk retries.
+    pub(super) fn maybe_repair(
+        &mut self,
+        q: &mut EventQueue<MaintenanceEvent>,
+        now: SimTime,
+        chunk: u32,
+    ) {
+        let ci = chunk as usize;
+        if self.ledger.is_lost(chunk) {
+            return;
+        }
+        let needed = self.ledger.needed(chunk);
+        let placed = self.ledger.blocks(chunk).len();
+        let want = self.scheduler.policy().blocks_wanted(
+            placed,
+            self.in_flight[ci] as usize,
+            needed,
+            self.target_blocks[ci] as usize,
+        );
+        if want == 0 {
+            return;
+        }
+        // Decode sources: `needed` distinct live holders of the chunk's blocks.
+        let mut sources: Vec<NodeRef> = Vec::with_capacity(needed);
+        for (node, _) in self.ledger.blocks(chunk) {
+            if self.cluster.overlay().is_alive(*node) && !sources.contains(node) {
+                sources.push(*node);
+                if sources.len() == needed {
+                    break;
+                }
+            }
+        }
+        if sources.len() < needed {
+            // Not decodable right now: retry at the next probe boundary (a
+            // holder returning earlier also retries).
+            self.schedule_retry(q, chunk);
+            return;
+        }
+        // Placement targets through the placement strategy: a rebuilt block
+        // never collocates with a registered block of its chunk, and with a
+        // topology in play, domains already at the chunk's block cap are
+        // excluded (so repair re-placement preserves the original spread).
+        let size = self.block_size[ci];
+        let holders: Vec<NodeRef> = self.ledger.blocks(chunk).iter().map(|(n, _)| *n).collect();
+        let domain_cap = if self.topology.is_some() {
+            (self.target_blocks[ci] as usize)
+                .saturating_sub(needed)
+                .max(1)
+        } else {
+            usize::MAX
+        };
+        let request = RepairRequest {
+            want,
+            size,
+            holders: &holders,
+            domain_cap,
+        };
+        let targets = self.placement.repair_targets(
+            &self.cluster,
+            self.topology.as_ref(),
+            &request,
+            &mut self.rng,
+        );
+        if targets.is_empty() {
+            self.schedule_retry(q, chunk);
+            return;
+        }
+        let plan = self
+            .scheduler
+            .schedule(chunk, size, &sources, &targets, now);
+        self.in_flight[ci] += plan.placements.len() as u32;
+        q.schedule_at(
+            plan.done_at,
+            MaintenanceEvent::RepairDone {
+                chunk,
+                placements: plan.placements,
+                traffic: plan.traffic,
+            },
+        );
+    }
+
+    /// Queue a deferred-repair retry for `chunk` one retry period out (at most
+    /// one pending retry per chunk, so deferrals cannot flood the queue).  The
+    /// period is the probe period floored by the configured
+    /// [`crate::DetectorConfig::retry_floor_secs`].
+    pub(super) fn schedule_retry(&mut self, q: &mut EventQueue<MaintenanceEvent>, chunk: u32) {
+        let ci = chunk as usize;
+        if self.retry_pending[ci] {
+            return;
+        }
+        self.retry_pending[ci] = true;
+        let period = SimTime::from_secs_f64(self.detector.config().retry_period_secs());
+        q.schedule_after(period, MaintenanceEvent::RetryRepair(chunk));
+    }
+}

@@ -10,9 +10,14 @@
 //!   lengths from closed-form distributions or an empirical
 //!   [`peerstripe_trace::SessionTrace`], with a configurable fraction of
 //!   departures being permanent (the disk never returns);
-//! * a **failure detector** ([`FailureDetector`]) that notices departures at
-//!   probe boundaries and declares a node dead only after a permanence
-//!   timeout — the knob separating transient desktop churn from real loss;
+//! * a pluggable **detection layer** ([`DetectionPolicy`]) that notices
+//!   departures at probe boundaries and decides when an absence becomes a
+//!   permanent-death declaration: [`PerNodeTimeout`] judges every node
+//!   independently, while [`OutageAware`] consults a shared
+//!   [`peerstripe_placement::DomainView`] and *holds* declarations while a
+//!   failure domain's members vanished together — the correlated-absence
+//!   signature of a lab powering down — cancelling them wholesale when the
+//!   domain returns;
 //! * a **repair scheduler** ([`RepairScheduler`]) that triggers regeneration
 //!   *eagerly* (on first confirmed loss) or *lazily* (only when a chunk's
 //!   surviving blocks sink to `needed + k_min`), and charges every transfer
@@ -34,7 +39,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
-pub mod detector;
+pub mod detection;
 pub mod engine;
 pub mod executor;
 pub mod scheduler;
@@ -43,7 +48,10 @@ pub use config::{
     BandwidthBudget, ChurnProcess, DetectorConfig, GroupedChurn, RepairConfig, RepairPolicy,
     SessionModel,
 };
-pub use detector::{FailureDetector, PendingDeclaration};
+pub use detection::{
+    DeclarationVerdict, DetectionKind, DetectionPolicy, OutageAware, OutageAwareConfig,
+    PendingDeclaration, PerNodeTimeout,
+};
 pub use engine::{MaintenanceEngine, MaintenanceEvent, MaintenanceReport};
 pub use executor::RegenerationExecutor;
 pub use scheduler::{PlannedRepair, RepairScheduler};

@@ -10,8 +10,8 @@ use peerstripe::erasure::{ErasureCode, NullCode, OnlineCode, ReedSolomonCode, Xo
 use peerstripe::overlay::{Id, IdRing};
 use peerstripe::placement::{DomainSpread, Topology};
 use peerstripe::repair::{
-    ChurnProcess, DetectorConfig, GroupedChurn, MaintenanceEngine, RepairConfig, RepairPolicy,
-    SessionModel,
+    ChurnProcess, DeclarationVerdict, DetectionKind, DetectionPolicy, DetectorConfig, GroupedChurn,
+    MaintenanceEngine, OutageAware, OutageAwareConfig, RepairConfig, RepairPolicy, SessionModel,
 };
 use peerstripe::sim::{ByteSize, DetRng, OnlineStats, SimTime};
 use peerstripe::trace::{CapacityModel, FileRecord};
@@ -519,6 +519,7 @@ proptest! {
             policy: RepairPolicy::Eager,
             // Permanence timeout beyond any outage: nothing is declared dead.
             detector: DetectorConfig::default_desktop_grid().with_timeout(1e9),
+            detection: DetectionKind::PerNodeTimeout,
             bandwidth: peerstripe::repair::BandwidthBudget::symmetric(ByteSize::mb(4)),
             sample_period_secs: 3_600.0,
         };
@@ -547,5 +548,214 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Outage-aware liveness bound: however the topology, threshold and hold
+    /// tuning are chosen, a genuinely permanent departure (nobody ever
+    /// returns) is declared no later than `permanence_timeout + hold_cap`
+    /// after it happened — and the hold chain always terminates.
+    #[test]
+    fn outage_aware_declares_by_the_hold_cap(
+        nodes in 6usize..40,
+        group_size in 2usize..10,
+        theta in 0.05f64..1.0,
+        timeout_hours in 0.5f64..24.0,
+        hold_cap_hours in 0.0f64..48.0,
+        hold_period_hours in 0.1f64..6.0,
+        down_at_secs in 0.0f64..100_000.0,
+    ) {
+        let topo = Topology::uniform_groups(nodes, group_size);
+        let detector = DetectorConfig::default_desktop_grid()
+            .with_timeout(timeout_hours * 3_600.0);
+        let mut policy = OutageAware::new(
+            nodes,
+            detector,
+            topo.domain_view(),
+            OutageAwareConfig {
+                domain_absence_threshold: theta,
+                outage_window_secs: 600.0,
+                hold_period_secs: hold_period_hours * 3_600.0,
+                hold_cap_secs: hold_cap_hours * 3_600.0,
+            },
+        );
+        // The worst case for outage classification: the entire population
+        // departs at one instant and nobody ever returns.
+        let down_at = SimTime::from_secs_f64(down_at_secs);
+        let pendings: Vec<_> = (0..nodes).map(|n| (n, policy.node_down(n, down_at))).collect();
+        let deadline = down_at
+            + SimTime::from_secs_f64(timeout_hours * 3_600.0)
+            + SimTime::from_secs_f64(hold_cap_hours * 3_600.0);
+        for (node, p) in pendings {
+            let mut now = p.declare_at;
+            let mut steps = 0;
+            loop {
+                match policy.decide(node, p.generation, now) {
+                    DeclarationVerdict::Hold { until } => {
+                        prop_assert!(until > now, "node {}: hold must advance", node);
+                        prop_assert!(
+                            until <= deadline,
+                            "node {}: hold to {:?} passes the cap {:?}",
+                            node, until, deadline
+                        );
+                        now = until;
+                        steps += 1;
+                        prop_assert!(steps < 2_000, "node {}: unbounded hold chain", node);
+                    }
+                    DeclarationVerdict::Declare => break,
+                    DeclarationVerdict::Cancel => {
+                        prop_assert!(false, "node {}: nothing ever returned", node);
+                    }
+                }
+            }
+            prop_assert!(
+                now <= deadline,
+                "node {} declared at {:?}, after permanence_timeout + hold_cap ({:?})",
+                node, now, deadline
+            );
+        }
+    }
+
+    /// Equivalence of the extracted per-node policy: with no domain
+    /// information, the outage-aware policy can never classify an outage, so
+    /// an engine running it must reproduce the per-node engine event for
+    /// event — same declarations, same repair bill, same losses.
+    #[test]
+    fn unaffiliated_outage_aware_matches_per_node(
+        seed in any::<u64>(),
+        permanent_fraction in 0.0f64..0.1,
+    ) {
+        let run = |detection: DetectionKind| {
+            let mut rng = DetRng::new(seed ^ 0x0f0f);
+            let cluster = ClusterConfig {
+                nodes: 40,
+                capacity: CapacityModel::Fixed(ByteSize::gb(2)),
+                report_fraction: 1.0,
+                track_objects: true,
+            }
+            .build(&mut rng);
+            let mut ps = PeerStripe::new(
+                cluster,
+                PeerStripeConfig::default().with_coding(CodingPolicy::online_default()),
+            );
+            for i in 0..16 {
+                assert!(ps
+                    .store_file(&FileRecord::new(format!("f{i}"), ByteSize::mb(100)))
+                    .is_stored());
+            }
+            let manifests = ps.manifests().clone();
+            let churn = ChurnProcess {
+                sessions: SessionModel::Synthetic {
+                    mean_session_secs: 4.0 * 3_600.0,
+                    mean_downtime_secs: 3.0 * 3_600.0,
+                },
+                permanent_fraction,
+                // No grouped churn: the engine wires an unaffiliated domain
+                // view into the detector.
+                grouped: None,
+            };
+            let config = RepairConfig {
+                policy: RepairPolicy::Eager,
+                // Aggressive timeout so declarations actually happen.
+                detector: DetectorConfig::default_desktop_grid().with_timeout(3_600.0),
+                detection,
+                bandwidth: peerstripe::repair::BandwidthBudget::symmetric(ByteSize::mb(4)),
+                sample_period_secs: 3_600.0,
+            };
+            let mut engine =
+                MaintenanceEngine::new(ps.into_cluster(), &manifests, churn, config, seed);
+            engine.run_for(SimTime::from_secs(36 * 3_600));
+            engine.report()
+        };
+        let per_node = run(DetectionKind::PerNodeTimeout);
+        let aware = run(DetectionKind::OutageAware(
+            OutageAwareConfig::default_desktop_grid(),
+        ));
+        prop_assert_eq!(per_node.events, aware.events);
+        prop_assert_eq!(per_node.repair_bytes, aware.repair_bytes);
+        prop_assert_eq!(per_node.wasted_repair_bytes, aware.wasted_repair_bytes);
+        prop_assert_eq!(per_node.files_lost, aware.files_lost);
+        prop_assert_eq!(per_node.false_declarations, aware.false_declarations);
+        prop_assert_eq!(aware.declarations_held, 0);
+        prop_assert_eq!(aware.held_cancelled, 0);
+    }
+
+    /// Held declarations cancelled by a domain return leak nothing: pure
+    /// grouped churn under an outage-aware detector with an unbounded hold
+    /// cap never writes a block off, never spends a repair byte, and never
+    /// loses a file — every hold either cancels on the domain's return or is
+    /// still pending at the horizon.
+    #[test]
+    fn cancelled_holds_leak_no_repair_traffic(
+        group_size in 3usize..12,
+        interval_hours in 4.0f64..10.0,
+        downtime_hours in 2.0f64..8.0,
+        theta in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let nodes = 48;
+        let mut rng = DetRng::new(seed ^ 0x77aa);
+        let cluster = ClusterConfig {
+            nodes,
+            capacity: CapacityModel::Fixed(ByteSize::gb(2)),
+            report_fraction: 1.0,
+            track_objects: true,
+        }
+        .build(&mut rng);
+        let mut ps = PeerStripe::new(
+            cluster,
+            PeerStripeConfig::default().with_coding(CodingPolicy::online_default()),
+        );
+        for i in 0..20 {
+            prop_assert!(ps
+                .store_file(&FileRecord::new(format!("f{i}"), ByteSize::mb(100)))
+                .is_stored());
+        }
+        let manifests = ps.manifests().clone();
+        let topo = Topology::uniform_groups(nodes, group_size);
+        let churn = ChurnProcess {
+            // Individual sessions far beyond the horizon: every departure is
+            // a group event, and every absence is outage-correlated.
+            sessions: SessionModel::Synthetic {
+                mean_session_secs: 1e12,
+                mean_downtime_secs: 3_600.0,
+            },
+            permanent_fraction: 0.0,
+            grouped: Some(GroupedChurn::new(topo, interval_hours, downtime_hours)),
+        };
+        let config = RepairConfig {
+            policy: RepairPolicy::Eager,
+            // A 10-minute permanence timeout: the per-node policy would write
+            // whole domains off on every outage.
+            detector: DetectorConfig::default_desktop_grid().with_timeout(600.0),
+            detection: DetectionKind::OutageAware(OutageAwareConfig {
+                domain_absence_threshold: theta,
+                outage_window_secs: 600.0,
+                hold_period_secs: 1_800.0,
+                // Unbounded hold cap: every declaration is held until its
+                // domain returns.
+                hold_cap_secs: 1e12,
+            }),
+            bandwidth: peerstripe::repair::BandwidthBudget::symmetric(ByteSize::mb(4)),
+            sample_period_secs: 3_600.0,
+        };
+        let mut engine =
+            MaintenanceEngine::new(ps.into_cluster(), &manifests, churn, config, seed);
+        engine.run_for(SimTime::from_secs(48 * 3_600));
+        let report = engine.report();
+        prop_assert!(report.group_outages > 0, "outages must fire: {report:?}");
+        prop_assert!(
+            report.declarations_held > 0,
+            "10-minute timeout vs multi-hour outages must hold: {report:?}"
+        );
+        // The leak-freedom claim: no write-offs, no repair traffic, no loss.
+        prop_assert_eq!(report.false_declarations, 0);
+        prop_assert_eq!(report.repair_bytes, ByteSize::ZERO);
+        prop_assert_eq!(report.wasted_repair_bytes, ByteSize::ZERO);
+        prop_assert_eq!(report.files_lost, 0);
+        prop_assert!(
+            report.held_cancelled <= report.declarations_held,
+            "cancellations cannot exceed holds: {report:?}"
+        );
+        prop_assert!(engine.accounting_is_consistent(), "accounting must balance");
     }
 }
