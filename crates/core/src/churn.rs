@@ -17,7 +17,7 @@ use crate::cluster::StorageCluster;
 use crate::system::ManifestStore;
 use peerstripe_overlay::NodeRef;
 use peerstripe_sim::{ByteSize, DetRng, OnlineStats, RateLimiter, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Incremental tracker of file availability as nodes fail (no recovery).
 #[derive(Debug, Clone)]
@@ -30,7 +30,7 @@ pub struct AvailabilityTracker {
     /// Per file: number of chunks currently unrecoverable.
     file_failed_chunks: Vec<u32>,
     /// node -> indices of chunks with one block on that node (repeated per block).
-    node_index: HashMap<NodeRef, Vec<u32>>,
+    node_index: BTreeMap<NodeRef, Vec<u32>>,
     files_total: usize,
     files_unavailable: usize,
     bytes_total: ByteSize,
@@ -46,7 +46,7 @@ impl AvailabilityTracker {
             chunk_file: Vec::new(),
             chunk_size: Vec::new(),
             file_failed_chunks: Vec::new(),
-            node_index: HashMap::new(),
+            node_index: BTreeMap::new(),
             files_total: 0,
             files_unavailable: 0,
             bytes_total: ByteSize::ZERO,
@@ -159,7 +159,7 @@ pub struct DamageLedger {
     chunk_file: Vec<u32>,
     chunk_lost: Vec<bool>,
     file_sizes: Vec<ByteSize>,
-    node_index: HashMap<NodeRef, Vec<u32>>,
+    node_index: BTreeMap<NodeRef, Vec<u32>>,
 }
 
 impl DamageLedger {
@@ -258,7 +258,7 @@ impl DamageLedger {
         let Some(chunks) = self.node_index.remove(&node) else {
             return Vec::new();
         };
-        let mut dedup = std::collections::HashSet::new();
+        let mut dedup = std::collections::BTreeSet::new();
         let mut losses = Vec::new();
         for chunk_idx in chunks {
             let ci = chunk_idx as usize;

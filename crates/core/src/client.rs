@@ -477,7 +477,7 @@ impl PeerStripe {
             return None;
         }
         let codec = self.config.coding.codec(self.config.data_path_blocks);
-        let present: std::collections::HashSet<u32> = have.iter().map(|b| b.index).collect();
+        let present: std::collections::BTreeSet<u32> = have.iter().map(|b| b.index).collect();
         let missing: Vec<u32> = (0..codec.encoded_blocks() as u32)
             .filter(|i| !present.contains(i))
             .collect();
@@ -702,7 +702,7 @@ fn distribute_payloads(
         }
         _ => {
             for (i, b) in blocks.into_iter().enumerate() {
-                groups[i % targets].push(b);
+                groups[i % targets].push(b); // lint:allow(slice-index) -- i % targets < targets == groups.len() by construction
             }
         }
     }
@@ -731,14 +731,14 @@ pub fn unpack_payload(payload: &[u8]) -> Vec<EncodedBlock> {
     if payload.len() < 4 {
         return out;
     }
-    let count = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+    let count = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize; // lint:allow(panic) -- 4-byte window guarded by the len()<4 check above
     let mut pos = 4;
     for _ in 0..count {
         if pos + 8 > payload.len() {
             break;
         }
-        let index = u32::from_le_bytes(payload[pos..pos + 4].try_into().unwrap());
-        let len = u32::from_le_bytes(payload[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        let index = u32::from_le_bytes(payload[pos..pos + 4].try_into().unwrap()); // lint:allow(panic) -- 4-byte window guarded by the pos+8<=len check above
+        let len = u32::from_le_bytes(payload[pos + 4..pos + 8].try_into().unwrap()) as usize; // lint:allow(panic) -- 4-byte window guarded by the pos+8<=len check above
         pos += 8;
         if pos + len > payload.len() {
             break;

@@ -13,7 +13,7 @@
 use crate::naming::ObjectName;
 use peerstripe_overlay::Id;
 use peerstripe_sim::ByteSize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An object stored on a node.
 #[derive(Debug, Clone)]
@@ -56,7 +56,7 @@ pub struct StorageNode {
     capacity: ByteSize,
     used: ByteSize,
     report_fraction: f64,
-    objects: HashMap<Id, StoredObject>,
+    objects: BTreeMap<Id, StoredObject>,
     track_objects: bool,
     object_count: u64,
 }
@@ -75,7 +75,7 @@ impl StorageNode {
             capacity,
             used: ByteSize::ZERO,
             report_fraction,
-            objects: HashMap::new(),
+            objects: BTreeMap::new(),
             track_objects,
             object_count: 0,
         }

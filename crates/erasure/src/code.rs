@@ -189,8 +189,8 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
     let words = dst.len() / 8;
     for i in 0..words {
         let range = i * 8..i * 8 + 8;
-        let a = u64::from_ne_bytes(dst[range.clone()].try_into().unwrap());
-        let b = u64::from_ne_bytes(src[range.clone()].try_into().unwrap());
+        let a = u64::from_ne_bytes(dst[range.clone()].try_into().unwrap()); // lint:allow(panic) -- 8-byte window: i < words == dst.len()/8
+        let b = u64::from_ne_bytes(src[range.clone()].try_into().unwrap()); // lint:allow(panic) -- 8-byte window: src.len() asserted equal to dst.len()
         dst[range].copy_from_slice(&(a ^ b).to_ne_bytes());
     }
     for i in words * 8..dst.len() {

@@ -75,7 +75,7 @@ impl ErasureCode for NullCode {
         }
         let data: Vec<Vec<u8>> = ordered
             .into_iter()
-            .map(|b| b.expect("checked above").data.clone())
+            .map(|b| b.expect("checked above").data.clone()) // lint:allow(panic) -- every slot verified Some in the missing-block scan above
             .collect();
         Ok(join_blocks(&data, chunk_len))
     }

@@ -51,7 +51,7 @@ impl ReedSolomonCode {
         );
         let enc = GfMatrix::vandermonde(data + parity, data)
             .systematic()
-            .expect("top square of a Vandermonde matrix is invertible");
+            .expect("top square of a Vandermonde matrix is invertible"); // lint:allow(panic) -- Vandermonde top square over distinct points is provably invertible
         let parity_rows: Vec<usize> = (data..data + parity).collect();
         ReedSolomonCode {
             data,
@@ -170,7 +170,7 @@ impl ReedSolomonCode {
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("parity worker panicked"))
+                .flat_map(|h| h.join().expect("parity worker panicked")) // lint:allow(panic) -- worker panic is unrecoverable; propagate it to the caller
                 .collect()
         });
         self.assemble(sources, parity)
@@ -252,7 +252,7 @@ impl ErasureCode for ReedSolomonCode {
         if have[..self.data].iter().all(Option::is_some) {
             let sources: Vec<Vec<u8>> = have[..self.data]
                 .iter()
-                .map(|b| normalise(b.expect("checked")))
+                .map(|b| normalise(b.expect("checked"))) // lint:allow(panic) -- all data rows verified Some on the branch condition
                 .collect();
             return Ok(join_blocks(&sources, chunk_len));
         }
@@ -280,7 +280,7 @@ impl ErasureCode for ReedSolomonCode {
         };
         let received: Vec<Vec<u8>> = chosen
             .iter()
-            .map(|&idx| normalise(have[idx].expect("chosen rows exist")))
+            .map(|&idx| normalise(have[idx].expect("chosen rows exist"))) // lint:allow(panic) -- chosen only collects indices with have[idx].is_some()
             .collect();
         let mut sources: Vec<Vec<u8>> = Vec::with_capacity(self.data);
         for (j, surviving) in have.iter().enumerate().take(self.data) {

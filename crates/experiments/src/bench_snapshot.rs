@@ -1,0 +1,325 @@
+//! `repro bench-snapshot` — one-shot, in-process perf snapshots of the two
+//! hot paths the criterion benches guard, written as small JSON files under
+//! `benchmarks/` so perf regressions show up in review as a diff.
+//!
+//! The snapshots mirror `crates/bench/benches/repair_schedule.rs` and
+//! `detector_decide.rs` exactly (same deployment, same churn, same decide
+//! loop) but run each measurement a handful of times and keep the best —
+//! good enough to catch an order-of-magnitude regression without criterion's
+//! multi-minute statistics.  Numbers are machine-dependent by nature; the
+//! committed files record the machine-independent *shape* (events processed,
+//! verdict counts) next to the throughput observed when they were captured.
+//!
+//! This file is on the linter's `WALL_CLOCK_EXEMPT` list: measuring elapsed
+//! wall time is its whole job.  Nothing here feeds simulation results.
+
+use crate::Scale;
+use peerstripe_core::{ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem};
+use peerstripe_placement::Topology;
+use peerstripe_repair::{
+    BandwidthBudget, ChurnProcess, DeclarationVerdict, DetectionKind, DetectionPolicy,
+    DetectorConfig, MaintenanceEngine, OutageAware, OutageAwareConfig, PerNodeTimeout,
+    RepairConfig, RepairPolicy, SessionModel,
+};
+use peerstripe_sim::{ByteSize, DetRng, SimTime};
+use peerstripe_trace::TraceConfig;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Domain size used by the detector benches (matches `detector_decide.rs`).
+const GROUP_SIZE: usize = 25;
+/// Measurement repetitions per configuration; the best run is kept.
+const REPS: usize = 3;
+
+/// Parameters of a snapshot run.
+#[derive(Debug, Clone)]
+pub struct BenchSnapshotConfig {
+    /// Node counts to measure at (the benches use 1 000 and 10 000).
+    pub node_counts: Vec<usize>,
+    /// Deployment / churn seed.
+    pub seed: u64,
+}
+
+impl BenchSnapshotConfig {
+    /// The configuration matching the committed criterion benches.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let node_counts = match scale {
+            Scale::Small => vec![200, 1_000],
+            _ => vec![1_000, 10_000],
+        };
+        BenchSnapshotConfig { node_counts, seed }
+    }
+}
+
+/// One measured configuration within a snapshot.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Sub-benchmark id, e.g. `churn_24h/1000_nodes`.
+    pub id: String,
+    /// Work units completed in the measured run (events, verdicts, cycles).
+    pub work_units: u64,
+    /// Best observed throughput, work units per second.
+    pub per_sec: f64,
+}
+
+/// A named collection of rows, renderable as JSON.
+#[derive(Debug, Clone)]
+pub struct BenchSnapshot {
+    /// Snapshot name (`repair_schedule` or `detector_decide`).
+    pub name: String,
+    /// Seed the deployment and churn used.
+    pub seed: u64,
+    /// Measured rows in execution order.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchSnapshot {
+    /// Render the snapshot as stable, diff-friendly JSON.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"{}\",", self.name);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"captured_with\": \"repro bench-snapshot\",");
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{ \"id\": \"{}\", \"work_units\": {}, \"per_sec\": {:.1} }}{comma}",
+                row.id, row.work_units, row.per_sec
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Deploy a cluster with a light per-node file load (mirrors
+/// `repair_schedule.rs::deploy`).
+fn deploy(
+    nodes: usize,
+    seed: u64,
+) -> (
+    peerstripe_core::StorageCluster,
+    peerstripe_core::ManifestStore,
+) {
+    let mut rng = DetRng::new(seed);
+    let cluster = ClusterConfig::scaled(nodes).build(&mut rng);
+    let mut ps = PeerStripe::new(
+        cluster,
+        PeerStripeConfig::default().with_coding(CodingPolicy::online_default()),
+    );
+    let trace = TraceConfig::scaled(nodes * 2).generate(seed ^ 0xc0de);
+    for file in &trace.files {
+        let _ = ps.store_file(file);
+    }
+    let manifests = ps.manifests().clone();
+    (ps.into_cluster(), manifests)
+}
+
+/// Build the maintenance engine the bench drives (mirrors
+/// `repair_schedule.rs::engine_of`).
+fn engine_of(
+    cluster: peerstripe_core::StorageCluster,
+    manifests: &peerstripe_core::ManifestStore,
+    seed: u64,
+) -> MaintenanceEngine {
+    let churn = ChurnProcess {
+        sessions: SessionModel::Synthetic {
+            mean_session_secs: 8.0 * 3_600.0,
+            mean_downtime_secs: 4.0 * 3_600.0,
+        },
+        permanent_fraction: 0.01,
+        grouped: None,
+    };
+    let config = RepairConfig {
+        policy: RepairPolicy::Eager,
+        detector: DetectorConfig::default_desktop_grid().with_timeout(24.0 * 3_600.0),
+        detection: DetectionKind::PerNodeTimeout,
+        bandwidth: BandwidthBudget::symmetric(ByteSize::mb(4)),
+        sample_period_secs: 3_600.0,
+    };
+    MaintenanceEngine::new(cluster, manifests, churn, config, seed)
+}
+
+/// Maintenance-engine event throughput over 24 h of churn.
+pub fn run_repair_schedule_snapshot(config: &BenchSnapshotConfig) -> BenchSnapshot {
+    let mut rows = Vec::new();
+    for &nodes in &config.node_counts {
+        let (cluster, manifests) = deploy(nodes, config.seed);
+        let mut best_per_sec = 0.0f64;
+        let mut work_units = 0u64;
+        for _ in 0..REPS {
+            let mut engine = engine_of(cluster.clone(), &manifests, config.seed);
+            let started = Instant::now();
+            engine.run_for(SimTime::from_secs(24 * 3_600));
+            let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+            let events = engine.events_processed();
+            work_units = events;
+            best_per_sec = best_per_sec.max(events as f64 / elapsed);
+        }
+        rows.push(BenchRow {
+            id: format!("churn_24h/{nodes}_nodes"),
+            work_units,
+            per_sec: best_per_sec,
+        });
+    }
+    BenchSnapshot {
+        name: "repair_schedule".to_string(),
+        seed: config.seed,
+        rows,
+    }
+}
+
+/// Clustered-downtime setup shared by the decide rows (mirrors
+/// `detector_decide.rs::take_half_down`).
+fn take_half_down(
+    policy: &mut dyn DetectionPolicy,
+    nodes: usize,
+) -> Vec<peerstripe_repair::PendingDeclaration> {
+    let at = SimTime::from_secs(1_000);
+    (0..nodes)
+        .filter(|n| n % 2 == 0)
+        .map(|n| policy.node_down(n, at))
+        .collect()
+}
+
+fn detector_config() -> DetectorConfig {
+    DetectorConfig::default_desktop_grid().with_timeout(4.0 * 3_600.0)
+}
+
+/// Detection-policy decide and down/up throughput for both policies.
+pub fn run_detector_decide_snapshot(config: &BenchSnapshotConfig) -> BenchSnapshot {
+    let mut rows = Vec::new();
+    for &nodes in &config.node_counts {
+        let topology = Topology::uniform_groups(nodes, GROUP_SIZE);
+        let policies: Vec<(&str, Box<dyn DetectionPolicy>)> = vec![
+            (
+                "per-node",
+                Box::new(PerNodeTimeout::new(nodes, detector_config())),
+            ),
+            (
+                "outage-aware",
+                Box::new(OutageAware::new(
+                    nodes,
+                    detector_config(),
+                    topology.domain_view(),
+                    OutageAwareConfig::default_desktop_grid(),
+                )),
+            ),
+        ];
+        for (label, mut policy) in policies {
+            let pendings = take_half_down(policy.as_mut(), nodes);
+            // Decide throughput: one verdict per down node per pass.
+            let mut best = 0.0f64;
+            for _ in 0..REPS {
+                let started = Instant::now();
+                let mut verdicts = 0u64;
+                while started.elapsed().as_secs_f64() < 0.1 {
+                    for (i, p) in pendings.iter().enumerate() {
+                        match policy.decide(i * 2, p.generation, p.declare_at) {
+                            DeclarationVerdict::Declare
+                            | DeclarationVerdict::Hold { .. }
+                            | DeclarationVerdict::Cancel => verdicts += 1,
+                        }
+                    }
+                }
+                best = best.max(verdicts as f64 / started.elapsed().as_secs_f64());
+            }
+            rows.push(BenchRow {
+                id: format!("decide/{label}/{nodes}_nodes"),
+                work_units: pendings.len() as u64,
+                per_sec: best,
+            });
+            // Departure bookkeeping: a down/up cycle per node per pass.
+            let mut best = 0.0f64;
+            let mut t = 2_000u64;
+            for _ in 0..REPS {
+                let started = Instant::now();
+                let mut cycles = 0u64;
+                while started.elapsed().as_secs_f64() < 0.1 {
+                    t += 1;
+                    for node in 0..nodes {
+                        let _ = policy.node_down(node, SimTime::from_secs(t));
+                        policy.node_up(node, SimTime::from_secs(t + 1));
+                        cycles += 1;
+                    }
+                }
+                best = best.max(cycles as f64 / started.elapsed().as_secs_f64());
+            }
+            rows.push(BenchRow {
+                id: format!("down_up/{label}/{nodes}_nodes"),
+                work_units: nodes as u64,
+                per_sec: best,
+            });
+        }
+    }
+    BenchSnapshot {
+        name: "detector_decide".to_string(),
+        seed: config.seed,
+        rows,
+    }
+}
+
+/// Run both snapshots and write them under `dir` as
+/// `BENCH_repair_schedule.json` and `BENCH_detector_decide.json`.
+/// Returns the written paths.
+pub fn write_snapshots(dir: &Path, config: &BenchSnapshotConfig) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let mut written = Vec::new();
+    for snapshot in [
+        run_repair_schedule_snapshot(config),
+        run_detector_decide_snapshot(config),
+    ] {
+        let path = dir.join(format!("BENCH_{}.json", snapshot.name));
+        std::fs::write(&path, snapshot.render_json())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let snapshot = BenchSnapshot {
+            name: "repair_schedule".to_string(),
+            seed: 42,
+            rows: vec![
+                BenchRow {
+                    id: "churn_24h/1000_nodes".to_string(),
+                    work_units: 12_345,
+                    per_sec: 1_000_000.5,
+                },
+                BenchRow {
+                    id: "churn_24h/10000_nodes".to_string(),
+                    work_units: 123_456,
+                    per_sec: 900_000.0,
+                },
+            ],
+        };
+        let json = snapshot.render_json();
+        assert!(json.contains("\"benchmark\": \"repair_schedule\""));
+        assert!(json.contains("\"per_sec\": 1000000.5"));
+        assert_eq!(json.matches("{ \"id\"").count(), 2);
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn tiny_snapshot_runs_end_to_end() {
+        let config = BenchSnapshotConfig {
+            node_counts: vec![50],
+            seed: 7,
+        };
+        let repair = run_repair_schedule_snapshot(&config);
+        assert_eq!(repair.rows.len(), 1);
+        assert!(repair.rows[0].work_units > 0, "engine processed events");
+        assert!(repair.rows[0].per_sec > 0.0);
+    }
+}

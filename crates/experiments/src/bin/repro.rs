@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! repro <experiment> [--scale small|medium|paper] [--seed N]
+//! repro lint [--format text|json]
+//! repro bench-snapshot [--out DIR] [--scale small|medium|paper] [--seed N]
 //!
 //! experiments:
 //!   fig7 fig8 fig9 table1   file-insertion comparison (PAST vs CFS vs PeerStripe)
@@ -14,6 +16,10 @@
 //!   fig11 fig12             Bullet/RanSub replica dissemination
 //!   table4                  Condor bigCopy case study
 //!   all                     everything above
+//!
+//! tooling:
+//!   lint                    run the workspace determinism & panic-safety linter
+//!   bench-snapshot          capture BENCH_*.json perf snapshots under benchmarks/
 //! ```
 
 use peerstripe_experiments::cli::run_experiment_with;
@@ -24,12 +30,18 @@ struct Args {
     experiment: String,
     scale: Scale,
     seed: u64,
+    /// `repro lint --format json`
+    json: bool,
+    /// `repro bench-snapshot --out DIR`
+    out_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut experiment = None;
     let mut scale = Scale::Medium;
     let mut seed = 42u64;
+    let mut json = false;
+    let mut out_dir = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -40,6 +52,15 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 let value = args.next().ok_or("--seed needs a value")?;
                 seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?;
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => return Err(format!("--format must be text or json, got {other:?}")),
+            },
+            "--out" => {
+                let value = args.next().ok_or("--out needs a directory")?;
+                out_dir = Some(std::path::PathBuf::from(value));
             }
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -53,14 +74,91 @@ fn parse_args() -> Result<Args, String> {
         experiment: experiment.unwrap_or_else(|| "all".to_string()),
         scale,
         seed,
+        json,
+        out_dir,
     })
 }
 
 fn usage() -> String {
     format!(
-        "usage: repro <{}|all> [--scale small|medium|paper] [--seed N]",
+        "usage: repro <{}|all> [--scale small|medium|paper] [--seed N]\n\
+                repro lint [--format text|json]\n\
+                repro bench-snapshot [--out DIR] [--scale small|medium|paper] [--seed N]",
         peerstripe_experiments::cli::EXPERIMENTS.join("|")
     )
+}
+
+/// The workspace root: walk up from the current directory, falling back to
+/// the location this crate was compiled from (covers `cargo run` from
+/// anywhere inside the tree and from the target dir).
+fn workspace_root() -> Result<std::path::PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    if let Some(root) = peerstripe_lint::find_workspace_root(&cwd) {
+        return Ok(root);
+    }
+    let compiled_from = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    peerstripe_lint::find_workspace_root(compiled_from)
+        .ok_or_else(|| format!("no workspace root found above {}", cwd.display()))
+}
+
+/// `repro lint`: run the workspace linter; exit 0 only when clean.
+fn run_lint(json: bool) -> ! {
+    let root = match workspace_root() {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("repro lint: {msg}");
+            std::process::exit(2);
+        }
+    };
+    match peerstripe_lint::run_workspace(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text(false));
+            }
+            std::process::exit(if report.is_clean() { 0 } else { 1 });
+        }
+        Err(msg) => {
+            eprintln!("repro lint: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `repro bench-snapshot`: write BENCH_*.json under `<root>/benchmarks/`.
+fn run_bench_snapshot(args: &Args) -> ! {
+    let dir = match &args.out_dir {
+        Some(dir) => dir.clone(),
+        None => match workspace_root() {
+            Ok(root) => root.join("benchmarks"),
+            Err(msg) => {
+                eprintln!("repro bench-snapshot: {msg}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let config = peerstripe_experiments::bench_snapshot::BenchSnapshotConfig::at_scale(
+        args.scale, args.seed,
+    );
+    eprintln!(
+        "# capturing perf snapshots at {:?} nodes (seed {}) into {}",
+        config.node_counts,
+        config.seed,
+        dir.display()
+    );
+    match peerstripe_experiments::bench_snapshot::write_snapshots(&dir, &config) {
+        Ok(paths) => {
+            for path in paths {
+                println!("wrote {}", path.display());
+            }
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("repro bench-snapshot: {msg}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -71,6 +169,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    match args.experiment.as_str() {
+        "lint" => run_lint(args.json),
+        "bench-snapshot" => run_bench_snapshot(&args),
+        _ => {}
+    }
     println!(
         "# PeerStripe reproduction — experiment '{}' at scale '{}' (seed {})\n",
         args.experiment, args.scale, args.seed

@@ -25,6 +25,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod availability;
+pub mod bench_snapshot;
 pub mod cli;
 pub mod coding;
 pub mod condor;

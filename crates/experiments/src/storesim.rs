@@ -88,7 +88,7 @@ impl StoreComparison {
         self.runs
             .iter()
             .find(|r| r.kind == kind)
-            .expect("all three systems present")
+            .expect("all three systems present") // lint:allow(panic) -- run_store_comparison always produces all three systems
     }
 
     /// Figure 7: failed stores vs. files inserted.
@@ -172,7 +172,7 @@ pub fn run_store_comparison(config: &StoreSimConfig) -> StoreComparison {
             ));
         }
         for (i, handle) in handles {
-            runs[i] = Some(handle.join().expect("system run panicked"));
+            runs[i] = Some(handle.join().expect("system run panicked")); // lint:allow(panic) -- worker panic is unrecoverable; propagate it to the caller
         }
     });
     // The three clusters are identically seeded; recompute the shared capacity once.

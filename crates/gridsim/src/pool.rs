@@ -16,7 +16,7 @@ use crate::network::NetworkModel;
 use peerstripe_core::{ClusterConfig, StorageCluster, StorageSystem};
 use peerstripe_sim::{ByteSize, DetRng};
 use peerstripe_trace::CapacityModel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of the simulated Condor pool.
 #[derive(Debug, Clone)]
@@ -80,12 +80,12 @@ impl CondorPool {
 
     /// Borrow the contributed-storage cluster.
     pub fn cluster(&self) -> &StorageCluster {
-        self.cluster.as_ref().expect("cluster present until taken")
+        self.cluster.as_ref().expect("cluster present until taken") // lint:allow(panic) -- cluster is Some until take_cluster; callers uphold the protocol
     }
 
     /// Take ownership of the cluster to hand it to a storage system.
     pub fn take_cluster(&mut self) -> StorageCluster {
-        self.cluster.take().expect("cluster already taken")
+        self.cluster.take().expect("cluster already taken") // lint:allow(panic) -- single handoff point; taking twice is a caller bug worth aborting on
     }
 
     /// Aggregate contributed capacity of the pool.
@@ -129,7 +129,7 @@ pub struct VfsStats {
 pub struct VfsClient<'a, S: StorageSystem> {
     system: &'a mut S,
     /// descriptor -> (file name, cached chunk-location knowledge)
-    open_files: HashMap<u64, OpenFile>,
+    open_files: BTreeMap<u64, OpenFile>,
     next_fd: u64,
     stats: VfsStats,
 }
@@ -138,7 +138,7 @@ pub struct VfsClient<'a, S: StorageSystem> {
 struct OpenFile {
     name: String,
     /// Chunk numbers whose location has been cached by a previous access.
-    cached_chunks: std::collections::HashSet<u32>,
+    cached_chunks: std::collections::BTreeSet<u32>,
 }
 
 impl<'a, S: StorageSystem> VfsClient<'a, S> {
@@ -146,7 +146,7 @@ impl<'a, S: StorageSystem> VfsClient<'a, S> {
     pub fn new(system: &'a mut S) -> Self {
         VfsClient {
             system,
-            open_files: HashMap::new(),
+            open_files: BTreeMap::new(),
             next_fd: 3, // 0-2 are stdin/stdout/stderr, as in the real library
             stats: VfsStats::default(),
         }
@@ -168,7 +168,7 @@ impl<'a, S: StorageSystem> VfsClient<'a, S> {
             fd,
             OpenFile {
                 name: name.to_string(),
-                cached_chunks: std::collections::HashSet::new(),
+                cached_chunks: std::collections::BTreeSet::new(),
             },
         );
         Some(fd)
@@ -195,16 +195,13 @@ impl<'a, S: StorageSystem> VfsClient<'a, S> {
             }
             start = end;
         }
-        for chunk_no in touched {
-            if self.open_files[&fd].cached_chunks.contains(&chunk_no) {
-                self.stats.cache_hits += 1;
-            } else {
-                self.stats.cache_misses += 1;
-                self.open_files
-                    .get_mut(&fd)
-                    .unwrap()
-                    .cached_chunks
-                    .insert(chunk_no);
+        if let Some(open) = self.open_files.get_mut(&fd) {
+            for chunk_no in touched {
+                if open.cached_chunks.insert(chunk_no) {
+                    self.stats.cache_misses += 1;
+                } else {
+                    self.stats.cache_hits += 1;
+                }
             }
         }
         self.stats.bytes_read += ByteSize::bytes(served);

@@ -1,0 +1,7 @@
+//! Failing fixture: `thread_rng` is ambient, OS-seeded randomness — the exact
+//! thing a fixed-seed simulation must never touch.
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

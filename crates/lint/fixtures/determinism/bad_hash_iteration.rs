@@ -1,0 +1,16 @@
+//! Failing fixture: HashMap/HashSet in sim-facing code without a waiver.
+//! RandomState hashing makes `for (k, v) in &self.members` visit nodes in a
+//! different order every process run, which leaks into placement decisions.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Membership {
+    members: HashMap<u64, u32>,
+    suspected: HashSet<u64>,
+}
+
+impl Membership {
+    pub fn first_suspect(&self) -> Option<u64> {
+        self.suspected.iter().next().copied()
+    }
+}

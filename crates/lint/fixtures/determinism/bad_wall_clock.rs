@@ -1,0 +1,13 @@
+//! Failing fixture: reading the host clock inside simulation logic couples
+//! results to the machine the run happened on.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, u64) {
+    let started = Instant::now();
+    let wall = SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    (started, wall)
+}

@@ -1,0 +1,21 @@
+//! Passing fixture: ordered collections and seeded randomness only.
+//! Iteration order of every map here is the key order, so a fixed seed
+//! reproduces byte-identical reports.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Tracker {
+    per_node: BTreeMap<u64, u32>,
+    dirty: BTreeSet<u64>,
+}
+
+impl Tracker {
+    pub fn bump(&mut self, node: u64) {
+        *self.per_node.entry(node).or_insert(0) += 1;
+        self.dirty.insert(node);
+    }
+
+    pub fn total(&self) -> u32 {
+        self.per_node.values().sum()
+    }
+}

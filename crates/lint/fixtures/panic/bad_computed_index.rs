@@ -1,0 +1,10 @@
+//! Failing fixture: computed subscripts are the classic off-by-one panic.
+//! `v[i + 1]` with `i == v.len() - 1` aborts the whole run.
+
+pub fn neighbour_sum(v: &[u64], i: usize) -> u64 {
+    v[i] + v[i + 1]
+}
+
+pub fn wrap_around(v: &[u64], i: usize) -> u64 {
+    v[(i + 1) % v.len()]
+}

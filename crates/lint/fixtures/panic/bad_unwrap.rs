@@ -1,0 +1,14 @@
+//! Failing fixture: unwrap/expect/panic! in library code without waivers.
+//! Each of these aborts a long simulation run instead of surfacing an error.
+
+pub fn load(path: &str) -> String {
+    let text = std::fs::read_to_string(path).unwrap();
+    if text.is_empty() {
+        panic!("empty input file");
+    }
+    text
+}
+
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().expect("at least one line")
+}

@@ -1,0 +1,16 @@
+//! Passing fixture: library code that propagates or defaults instead of
+//! panicking, and indexes only through checked accessors.
+
+pub fn head_plus_tail(values: &[u64]) -> Option<u64> {
+    let first = values.first()?;
+    let last = values.last()?;
+    Some(first + last)
+}
+
+pub fn parse_port(text: &str) -> u16 {
+    text.parse().unwrap_or(0)
+}
+
+pub fn window(values: &[u64], at: usize) -> &[u64] {
+    values.get(at..at + 2).unwrap_or(&[])
+}

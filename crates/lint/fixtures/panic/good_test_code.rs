@@ -1,0 +1,23 @@
+//! Passing fixture: unwraps and hard asserts are fine inside test code —
+//! a panicking test is exactly how a test fails.
+
+pub fn double(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles() {
+        let parsed: u64 = "21".parse().unwrap();
+        assert_eq!(double(parsed), 42);
+        let v = vec![1, 2, 3];
+        let mid = v[v.len() / 2];
+        assert_eq!(mid, 2);
+        if false {
+            panic!("unreachable in practice");
+        }
+    }
+}

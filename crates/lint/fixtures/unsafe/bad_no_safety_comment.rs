@@ -1,0 +1,6 @@
+//! Failing fixture: an `unsafe` block with no `SAFETY:` comment — the
+//! invariant lives only in the author's head.
+
+pub fn reinterpret(v: &[u8]) -> &[u32] {
+    unsafe { std::slice::from_raw_parts(v.as_ptr().cast(), v.len() / 4) }
+}

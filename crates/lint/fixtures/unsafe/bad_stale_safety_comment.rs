@@ -1,0 +1,13 @@
+//! Failing fixture: a `SAFETY:` comment exists but sits too far above the
+//! `unsafe` block to plausibly describe it (> 3 lines away).
+
+// SAFETY: this comment describes an invariant of a function that was
+// refactored away; it no longer sits next to any unsafe code.
+
+pub fn length_in_words(v: &[u8]) -> usize {
+    v.len() / 4
+}
+
+pub fn reinterpret(v: &[u8]) -> &[u32] {
+    unsafe { std::slice::from_raw_parts(v.as_ptr().cast(), v.len() / 4) }
+}

@@ -1,0 +1,7 @@
+//! Passing fixture: plain safe code — the rule has nothing to say.
+
+pub fn checksum(data: &[u8]) -> u32 {
+    data.iter().fold(0u32, |acc, b| {
+        acc.wrapping_mul(31).wrapping_add(u32::from(*b))
+    })
+}

@@ -1,0 +1,16 @@
+//! Passing fixture: every `unsafe` block carries a `SAFETY:` comment that
+//! states the invariant the compiler cannot check.
+
+pub fn split_bytes(v: &mut [u8]) -> (&mut [u8], &mut [u8]) {
+    let mid = v.len() / 2;
+    let ptr = v.as_mut_ptr();
+    let len = v.len();
+    // SAFETY: the two halves [0, mid) and [mid, len) are disjoint slices of
+    // one allocation, so handing out both &mut borrows aliases nothing.
+    unsafe {
+        (
+            std::slice::from_raw_parts_mut(ptr, mid),
+            std::slice::from_raw_parts_mut(ptr.add(mid), len - mid),
+        )
+    }
+}

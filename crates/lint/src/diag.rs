@@ -1,0 +1,211 @@
+//! Findings and report rendering (human text and machine JSON).
+
+use std::fmt::Write as _;
+
+/// The four rule families, used to group output and fixture tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Family {
+    Determinism,
+    PanicAudit,
+    Layering,
+    UnsafeAudit,
+    /// Meta findings about the waiver mechanism itself.
+    Waiver,
+}
+
+impl Family {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Family::Determinism => "determinism",
+            Family::PanicAudit => "panic-audit",
+            Family::Layering => "layering",
+            Family::UnsafeAudit => "unsafe-audit",
+            Family::Waiver => "waiver",
+        }
+    }
+}
+
+/// The family a rule id belongs to.
+pub fn family_of(rule: &str) -> Family {
+    match rule {
+        "unordered-collection" | "wall-clock" | "ambient-rng" => Family::Determinism,
+        "panic" | "slice-index" => Family::PanicAudit,
+        "layering" => Family::Layering,
+        "unsafe-no-safety" => Family::UnsafeAudit,
+        _ => Family::Waiver,
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// A finding that was suppressed by a waiver (reported for transparency).
+#[derive(Debug, Clone)]
+pub struct Waived {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// The full result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub waived: Vec<Waived>,
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Deterministic output order: path, then line, then rule.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        self.waived
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering.
+    pub fn render_text(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}: [{}/{}] {}",
+                f.path,
+                f.line,
+                family_of(f.rule).as_str(),
+                f.rule,
+                f.message
+            );
+        }
+        if verbose {
+            for w in &self.waived {
+                let _ = writeln!(
+                    out,
+                    "{}:{}: waived [{}] -- {}",
+                    w.path, w.line, w.rule, w.reason
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "repro-lint: {} file(s) checked, {} finding(s), {} waived",
+            self.files_checked,
+            self.findings.len(),
+            self.waived.len()
+        );
+        out
+    }
+
+    /// Machine-readable rendering (stable field order, sorted findings).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"files_checked\":{},", self.files_checked);
+        out.push_str("\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":{},\"family\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+                json_str(f.rule),
+                json_str(family_of(f.rule).as_str()),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        out.push_str("],\"waived\":[");
+        for (i, w) in self.waived.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"reason\":{}}}",
+                json_str(w.rule),
+                json_str(&w.path),
+                w.line,
+                json_str(&w.reason)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_escaped_and_sorted() {
+        let mut report = Report {
+            findings: vec![
+                Finding {
+                    rule: "panic",
+                    path: "b.rs".into(),
+                    line: 2,
+                    message: "say \"no\"".into(),
+                },
+                Finding {
+                    rule: "wall-clock",
+                    path: "a.rs".into(),
+                    line: 9,
+                    message: "tick".into(),
+                },
+            ],
+            waived: Vec::new(),
+            files_checked: 2,
+        };
+        report.sort();
+        assert_eq!(report.findings[0].path, "a.rs");
+        let json = report.render_json();
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\"families\":") || json.contains("\"family\":\"determinism\""));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn family_mapping_is_total() {
+        assert_eq!(family_of("unordered-collection"), Family::Determinism);
+        assert_eq!(family_of("slice-index"), Family::PanicAudit);
+        assert_eq!(family_of("layering"), Family::Layering);
+        assert_eq!(family_of("unsafe-no-safety"), Family::UnsafeAudit);
+        assert_eq!(family_of("waiver-unused"), Family::Waiver);
+    }
+}

@@ -1,0 +1,432 @@
+//! A minimal Rust lexer for static analysis.
+//!
+//! The linter does not need a parse tree — every rule it ships is a pattern
+//! over the token stream plus the comment side-channel.  This lexer therefore
+//! does exactly one job well: split source text into identifiers, punctuation,
+//! literals, and lifetimes, with **comments and string contents stripped out of
+//! the token stream** (so `"HashMap"` in a doc string can never trip the
+//! determinism rule) but comments preserved separately (so waivers and
+//! `// SAFETY:` justifications stay visible to the rules).
+//!
+//! Handled: line and nested block comments, string/char/byte/raw-string
+//! literals with escapes, raw identifiers, lifetimes vs char literals, numeric
+//! literals with suffixes.  Unterminated constructs lex to the end of file
+//! rather than erroring — a linter must degrade gracefully on mid-edit code.
+
+/// One lexed token kind.  String-like literals carry no text on purpose:
+/// nothing inside a literal is the linter's business.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (the rules decide which names matter).
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// Integer literal (any base, suffix included).
+    Int,
+    /// Float literal.
+    Float,
+    /// String, raw-string, byte-string, or char literal.
+    Str,
+    /// Lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+}
+
+/// A token plus the 1-indexed line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub line: u32,
+    pub tok: Tok,
+}
+
+/// A comment (line or block) with its text and line span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub end_line: u32,
+    pub text: String,
+    /// True for `//` comments (waivers are only honoured in these).
+    pub is_line: bool,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                out.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex a whole source file.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek_at(1) == Some('/') => {
+                cur.bump();
+                cur.bump();
+                let text = cur.eat_while(|c| c != '\n');
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text,
+                    is_line: true,
+                });
+            }
+            '/' if cur.peek_at(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let text = block_comment(&mut cur);
+                out.comments.push(Comment {
+                    line,
+                    end_line: cur.line,
+                    text,
+                    is_line: false,
+                });
+            }
+            '"' => {
+                cur.bump();
+                string_body(&mut cur);
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Str,
+                });
+            }
+            '\'' => {
+                lex_quote(&mut cur, line, &mut out.tokens);
+            }
+            _ if c.is_ascii_digit() => {
+                number(&mut cur, line, &mut out.tokens);
+            }
+            _ if is_ident_start(c) => {
+                let ident = cur.eat_while(is_ident_continue);
+                ident_or_prefixed_literal(&mut cur, ident, line, &mut out.tokens);
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Punct(c),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Consume a (possibly nested) block comment body; the opening `/*` is gone.
+fn block_comment(cur: &mut Cursor) -> String {
+    let mut depth = 1usize;
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '*' && cur.peek_at(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            text.push_str("*/");
+        } else if c == '/' && cur.peek_at(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            depth += 1;
+            text.push_str("/*");
+        } else {
+            cur.bump();
+            text.push(c);
+        }
+    }
+    text
+}
+
+/// Consume a string body after the opening `"`, honouring `\` escapes.
+fn string_body(cur: &mut Cursor) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consume a raw-string body after the hashes count is known: `"...."###`.
+fn raw_string_body(cur: &mut Cursor, hashes: usize) {
+    // The opening quote has been consumed by the caller.
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some('#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                break;
+            }
+        }
+    }
+}
+
+/// After a `'`: decide between a char literal and a lifetime.
+fn lex_quote(cur: &mut Cursor, line: u32, tokens: &mut Vec<Token>) {
+    cur.bump(); // the quote
+    match (cur.peek(), cur.peek_at(1)) {
+        // '\n', '\'', '\\' ... — always a char literal.
+        (Some('\\'), _) => {
+            cur.bump();
+            cur.bump(); // the escaped char
+            cur.eat_while(|c| c != '\''); // e.g. '\u{1F600}'
+            cur.bump(); // closing quote
+            tokens.push(Token {
+                line,
+                tok: Tok::Str,
+            });
+        }
+        // 'x' — a one-char literal closed immediately.
+        (Some(_), Some('\'')) => {
+            cur.bump();
+            cur.bump();
+            tokens.push(Token {
+                line,
+                tok: Tok::Str,
+            });
+        }
+        // 'ident — a lifetime (no closing quote follows).
+        (Some(c), _) if is_ident_start(c) => {
+            cur.eat_while(is_ident_continue);
+            tokens.push(Token {
+                line,
+                tok: Tok::Lifetime,
+            });
+        }
+        _ => {
+            // Stray quote; emit as punctuation so the stream stays aligned.
+            tokens.push(Token {
+                line,
+                tok: Tok::Punct('\''),
+            });
+        }
+    }
+}
+
+/// Lex a numeric literal starting at a digit.
+fn number(cur: &mut Cursor, line: u32, tokens: &mut Vec<Token>) {
+    let mut is_float = false;
+    cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    // `1.5` is a float; `1..n` is an int followed by a range; `1.max(2)` is an
+    // int followed by a method call.
+    if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        is_float = true;
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    }
+    tokens.push(Token {
+        line,
+        tok: if is_float { Tok::Float } else { Tok::Int },
+    });
+}
+
+/// An identifier was lexed; check whether it actually prefixes a raw/byte
+/// string (`r"..."`, `br#"..."#`, `b"..."`, `c"..."`) or raw ident (`r#name`).
+fn ident_or_prefixed_literal(cur: &mut Cursor, ident: String, line: u32, tokens: &mut Vec<Token>) {
+    let raw_capable = matches!(ident.as_str(), "r" | "br" | "cr");
+    let byte_capable = matches!(ident.as_str(), "b" | "c");
+    match cur.peek() {
+        Some('"') if raw_capable || byte_capable => {
+            cur.bump();
+            if raw_capable {
+                raw_string_body(cur, 0);
+            } else {
+                string_body(cur);
+            }
+            tokens.push(Token {
+                line,
+                tok: Tok::Str,
+            });
+        }
+        Some('\'') if ident == "b" => {
+            lex_quote(cur, line, tokens);
+            // Rewrite whatever lex_quote decided: b'x' is always a literal.
+            if let Some(last) = tokens.last_mut() {
+                last.tok = Tok::Str;
+            }
+        }
+        Some('#') if raw_capable => {
+            let mut hashes = 0usize;
+            while cur.peek() == Some('#') {
+                cur.bump();
+                hashes += 1;
+            }
+            if cur.peek() == Some('"') {
+                cur.bump();
+                raw_string_body(cur, hashes);
+                tokens.push(Token {
+                    line,
+                    tok: Tok::Str,
+                });
+            } else if ident == "r" && hashes == 1 && cur.peek().is_some_and(is_ident_start) {
+                // Raw identifier r#type: emit the ident itself.
+                let raw = cur.eat_while(is_ident_continue);
+                tokens.push(Token {
+                    line,
+                    tok: Tok::Ident(raw),
+                });
+            } else {
+                // `r ##` of something else: keep the pieces.
+                tokens.push(Token {
+                    line,
+                    tok: Tok::Ident(ident),
+                });
+                for _ in 0..hashes {
+                    tokens.push(Token {
+                        line,
+                        tok: Tok::Punct('#'),
+                    });
+                }
+            }
+        }
+        _ => {
+            tokens.push(Token {
+                line,
+                tok: Tok::Ident(ident),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashSet in a block /* nested */ still hidden */
+            let x = "HashMap::new()";
+            let y = r#"HashSet"#;
+            let z = b"unsafe";
+            let c = 'H';
+            let real = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashSet".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(ids.contains(&"BTreeMap".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Str).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1); // just 'x' — `str` lexes as an ident
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let lexed = lex("let v = a[0..10]; let f = 1.5f64; let m = 1_000;");
+        let ints = lexed.tokens.iter().filter(|t| t.tok == Tok::Int).count();
+        let floats = lexed.tokens.iter().filter(|t| t.tok == Tok::Float).count();
+        assert_eq!(ints, 3);
+        assert_eq!(floats, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lexed = lex(r#"let s = "a\"HashMap\""; let t = x;"#);
+        let ids = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(ids, vec!["let", "s", "let", "t", "x"]);
+    }
+}

@@ -1,0 +1,82 @@
+//! `peerstripe-lint` binary: lint the workspace, print findings, exit 0 only
+//! when clean.
+//!
+//! ```text
+//! cargo run -p peerstripe-lint -- [--root PATH] [--format text|json] [--verbose]
+//! ```
+
+use std::path::PathBuf;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = None;
+    let mut json = false;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = args.next().ok_or("--root needs a path")?;
+                root = Some(PathBuf::from(value));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => return Err(format!("--format must be text or json, got {other:?}")),
+            },
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!("usage: peerstripe-lint [--root PATH] [--format text|json] [--verbose]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok(Args {
+        root,
+        json,
+        verbose,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match peerstripe_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no workspace root found above {}", cwd.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    match peerstripe_lint::run_workspace(&root) {
+        Ok(report) => {
+            if args.json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text(args.verbose));
+            }
+            std::process::exit(if report.is_clean() { 0 } else { 1 });
+        }
+        Err(msg) => {
+            eprintln!("peerstripe-lint: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

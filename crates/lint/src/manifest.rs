@@ -1,0 +1,154 @@
+//! Just-enough `Cargo.toml` parsing for the layering rule.
+//!
+//! The linter needs three things from a manifest: the package name, the
+//! workspace member list (root manifest only), and the names of the
+//! dependencies in each dependency section with the line they were declared
+//! on.  A full TOML parser would be overkill (and would mean a dependency);
+//! cargo's own manifests are line-oriented enough for a section-tracking
+//! scan.
+
+/// One parsed dependency declaration.
+#[derive(Debug, Clone)]
+pub struct Dep {
+    pub name: String,
+    pub line: u32,
+    /// Section it was declared in: "dependencies", "dev-dependencies", ...
+    pub section: String,
+}
+
+/// The slice of a `Cargo.toml` the linter cares about.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// `[package] name`, empty for a virtual manifest.
+    pub package_name: String,
+    /// `[workspace] members`, in declaration order.
+    pub members: Vec<String>,
+    pub deps: Vec<Dep>,
+}
+
+/// Parse manifest text.  Unknown sections are skipped; the parser never fails
+/// (a malformed manifest simply yields fewer facts, and `cargo` itself will
+/// complain long before the linter matters).
+pub fn parse(text: &str) -> Manifest {
+    let mut manifest = Manifest::default();
+    let mut section = String::new();
+    let mut in_members_array = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+
+        if in_members_array {
+            for part in line.split(',') {
+                let name = part.trim().trim_matches(|c| c == '"' || c == ']');
+                if !name.is_empty() {
+                    manifest.members.push(name.to_string());
+                }
+            }
+            if line.contains(']') {
+                in_members_array = false;
+            }
+            continue;
+        }
+
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            continue;
+        }
+
+        let Some((key_part, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key_part.trim();
+        let value = value.trim();
+
+        match section.as_str() {
+            "package" if key == "name" => {
+                manifest.package_name = value.trim_matches('"').to_string();
+            }
+            "workspace" if key == "members" => {
+                // members = [ "a", "b" ]  or the opening of a multi-line array.
+                let inner = value.trim_start_matches('[');
+                for part in inner.split(',') {
+                    let name = part.trim().trim_matches(|c| c == '"' || c == ']');
+                    if !name.is_empty() {
+                        manifest.members.push(name.to_string());
+                    }
+                }
+                in_members_array = !value.contains(']');
+            }
+            "dependencies" | "dev-dependencies" | "build-dependencies" => {
+                manifest.deps.push(Dep {
+                    // `foo = ...` or `foo.workspace = true`
+                    name: key.split('.').next().unwrap_or(key).trim().to_string(),
+                    line: line_no,
+                    section: section.clone(),
+                });
+            }
+            _ => {
+                // `[target.'cfg(..)'.dependencies]` and friends are absent in
+                // this workspace; ignore anything else.
+            }
+        }
+    }
+    manifest
+}
+
+/// Strip a `#` comment, respecting `"` strings (paths never contain `#` here).
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return line.get(..i).unwrap_or(line),
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_name_members_and_deps() {
+        let text = r#"
+[workspace]
+members = [
+    "crates/a",
+    "crates/b", # trailing comment
+]
+
+[package]
+name = "demo"
+
+[dependencies]
+peerstripe-sim = { path = "../sim" }
+peerstripe-core.workspace = true
+serde = { workspace = true }
+
+[dev-dependencies]
+proptest.workspace = true
+"#;
+        let m = parse(text);
+        assert_eq!(m.package_name, "demo");
+        assert_eq!(m.members, vec!["crates/a", "crates/b"]);
+        let names: Vec<&str> = m.deps.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["peerstripe-sim", "peerstripe-core", "serde", "proptest"]
+        );
+        assert_eq!(m.deps[3].section, "dev-dependencies");
+        assert!(m.deps[0].line > 0);
+    }
+
+    #[test]
+    fn inline_members_array() {
+        let m = parse("[workspace]\nmembers = [\"x\", \"y\"]\n");
+        assert_eq!(m.members, vec!["x", "y"]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Determinism rules: every simulation result in this repo is a fixed-seed
+//! claim, so anything whose behaviour varies per process — hash iteration
+//! order, the wall clock, ambient RNGs — is a reproducibility hazard.
+
+use crate::lexer::Tok;
+use crate::rules::{FileCtx, RawFinding};
+use crate::source::SourceFile;
+
+/// `unordered-collection`: `HashMap`/`HashSet` in simulation-facing crates.
+///
+/// `RandomState` re-seeds per instance, so iteration order can silently leak
+/// into results (this bit PR 3's `ManifestStore`).  Sim-facing crates must use
+/// ordered maps, or waive lookup-only uses with a reason.
+pub fn check_unordered_collections(file: &SourceFile, ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    if !ctx.sim_facing {
+        return;
+    }
+    for token in &file.tokens {
+        if let Tok::Ident(name) = &token.tok {
+            if name == "HashMap" || name == "HashSet" {
+                if file.in_test(token.line) {
+                    continue;
+                }
+                out.push(RawFinding::new(
+                    "unordered-collection",
+                    token.line,
+                    format!(
+                        "`{name}` in sim-facing crate `{}`: iteration order is per-process; \
+                         use BTreeMap/BTreeSet or waive a lookup-only use",
+                        ctx.crate_name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `wall-clock`: `Instant::now` / `SystemTime::now` outside measurement code.
+///
+/// Simulated time comes from the event queue; reading the host clock in sim
+/// code makes runs irreproducible.  Timing/bench modules are exempted by path.
+pub fn check_wall_clock(file: &SourceFile, ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    if ctx.wall_clock_exempt {
+        return;
+    }
+    let toks = &file.tokens;
+    for (i, token) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &token.tok else {
+            continue;
+        };
+        if name != "Instant" && name != "SystemTime" {
+            continue;
+        }
+        // `Instant::now` — require the `::now` to follow, so merely passing an
+        // `Instant` around (e.g. a bench API taking a start time) stays legal.
+        let is_now_call = matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+            && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(':')))
+            && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Ident(n)) if n == "now");
+        if is_now_call {
+            out.push(RawFinding::new(
+                "wall-clock",
+                token.line,
+                format!(
+                    "`{name}::now` outside measurement code: simulations must take \
+                     time from the event clock, not the host"
+                ),
+            ));
+        }
+    }
+}
+
+/// `ambient-rng`: `thread_rng` (OS-seeded) anywhere.  All randomness must flow
+/// from an explicitly seeded `DetRng`.
+pub fn check_ambient_rng(file: &SourceFile, _ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    for token in &file.tokens {
+        if let Tok::Ident(name) = &token.tok {
+            if name == "thread_rng" || name == "ThreadRng" {
+                out.push(RawFinding::new(
+                    "ambient-rng",
+                    token.line,
+                    format!("`{name}` is OS-seeded; derive randomness from a seeded DetRng"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_sim() -> FileCtx {
+        FileCtx {
+            crate_name: "peerstripe-core".into(),
+            sim_facing: true,
+            wall_clock_exempt: false,
+        }
+    }
+
+    fn run(
+        rule: fn(&SourceFile, &FileCtx, &mut Vec<RawFinding>),
+        src: &str,
+        ctx: &FileCtx,
+    ) -> Vec<RawFinding> {
+        let file = SourceFile::parse("t.rs", src);
+        let mut out = Vec::new();
+        rule(&file, ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_sim_facing_non_test_code() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests { use std::collections::HashSet; }\n";
+        let hits = run(check_unordered_collections, src, &ctx_sim());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 1);
+
+        let non_sim = FileCtx {
+            sim_facing: false,
+            ..ctx_sim()
+        };
+        assert!(run(check_unordered_collections, src, &non_sim).is_empty());
+    }
+
+    #[test]
+    fn instant_now_flagged_but_passing_instants_is_fine() {
+        let bad = "let t = Instant::now();";
+        assert_eq!(run(check_wall_clock, bad, &ctx_sim()).len(), 1);
+        let ok = "fn elapsed_since(t: Instant) -> Duration { t.elapsed() }";
+        assert!(run(check_wall_clock, ok, &ctx_sim()).is_empty());
+        let exempt = FileCtx {
+            wall_clock_exempt: true,
+            ..ctx_sim()
+        };
+        assert!(run(check_wall_clock, bad, &exempt).is_empty());
+    }
+
+    #[test]
+    fn system_time_now_flagged() {
+        let hits = run(check_wall_clock, "let t = SystemTime::now();", &ctx_sim());
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn thread_rng_flagged_everywhere() {
+        let hits = run(
+            check_ambient_rng,
+            "let mut rng = rand::thread_rng();",
+            &ctx_sim(),
+        );
+        assert_eq!(hits.len(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! The rule passes.
+//!
+//! Each token rule is a pure function from a lexed [`SourceFile`] (plus a
+//! little per-file context) to raw findings; waiver application happens in one
+//! place, in `lib.rs`, so no rule can forget it.  The layering rule instead
+//! consumes parsed manifests.
+
+pub mod determinism;
+pub mod layering;
+pub mod panic_audit;
+pub mod unsafe_audit;
+
+/// Per-file facts the token rules branch on.
+#[derive(Debug, Clone, Default)]
+pub struct FileCtx {
+    /// Name of the crate the file belongs to (e.g. `peerstripe-core`).
+    pub crate_name: String,
+    /// Simulation-state crate: unordered collections are forbidden here.
+    pub sim_facing: bool,
+    /// Measurement code: allowed to read the wall clock.
+    pub wall_clock_exempt: bool,
+}
+
+/// A finding before waiver application.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    pub rule: &'static str,
+    pub line: u32,
+    pub message: String,
+}
+
+impl RawFinding {
+    pub fn new(rule: &'static str, line: u32, message: String) -> Self {
+        RawFinding {
+            rule,
+            line,
+            message,
+        }
+    }
+}
+
+/// Every token rule, in the order they run.
+pub fn token_rules() -> Vec<fn(&crate::source::SourceFile, &FileCtx, &mut Vec<RawFinding>)> {
+    vec![
+        determinism::check_unordered_collections,
+        determinism::check_wall_clock,
+        determinism::check_ambient_rng,
+        panic_audit::check_panics,
+        panic_audit::check_slice_index,
+        unsafe_audit::check_unsafe,
+    ]
+}

@@ -1,0 +1,210 @@
+//! Panic-audit rules: library code that can take a million-node simulation
+//! down with it must justify every panic path.  Test modules are exempt
+//! (panicking is how tests fail); library code needs a waiver per site.
+
+use crate::lexer::Tok;
+use crate::rules::{FileCtx, RawFinding};
+use crate::source::SourceFile;
+
+/// Rust keywords that can directly precede `[` without it being an index
+/// expression (`return [..]`, `break [..]`, pattern positions, ...).
+const NON_VALUE_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "while", "match", "return", "break", "else", "move", "box",
+    "static", "const", "as", "dyn", "impl", "fn", "where", "for", "use", "pub", "crate", "type",
+    "struct", "enum", "trait", "mod", "unsafe", "await", "yield", "become",
+];
+
+/// `panic`: `.unwrap()` / `.expect(...)` / `panic!` / `unreachable!` /
+/// `todo!` / `unimplemented!` in library (non-test) code.
+pub fn check_panics(file: &SourceFile, _ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    let toks = &file.tokens;
+    for (i, token) in toks.iter().enumerate() {
+        if file.in_test(token.line) {
+            continue;
+        }
+        match &token.tok {
+            // `.unwrap(` / `.expect(`
+            Tok::Ident(name) if name == "unwrap" || name == "expect" => {
+                let after_dot =
+                    i > 0 && matches!(toks.get(i - 1).map(|t| &t.tok), Some(Tok::Punct('.')));
+                let called = matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')));
+                if after_dot && called {
+                    out.push(RawFinding::new(
+                        "panic",
+                        token.line,
+                        format!("`.{name}()` in library code: handle the error or waive with a justification"),
+                    ));
+                }
+            }
+            Tok::Ident(name)
+                if matches!(
+                    name.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) =>
+            {
+                if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!'))) {
+                    out.push(RawFinding::new(
+                        "panic",
+                        token.line,
+                        format!("`{name}!` in library code: return an error or waive with a justification"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `slice-index`: indexing with a *computed* index (`v[i + 1]`, `v[n - k]`)
+/// in library code.
+///
+/// A lexical pass cannot see bounds proofs, so this rule draws the line at
+/// arithmetic in the index expression — the classic off-by-one panic source —
+/// and leaves plain `v[i]` loop indexing alone.  Ranges are also left to
+/// dedicated review (slicing panics are rarer and usually length-derived).
+pub fn check_slice_index(file: &SourceFile, _ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    let toks = &file.tokens;
+    for (i, token) in toks.iter().enumerate() {
+        if token.tok != Tok::Punct('[') || file.in_test(token.line) {
+            continue;
+        }
+        // Subscript position: the `[` must follow a value-ending token.
+        let is_subscript = match toks.get(i.wrapping_sub(1)).map(|t| &t.tok) {
+            Some(Tok::Ident(name)) => !NON_VALUE_KEYWORDS.contains(&name.as_str()),
+            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) | Some(Tok::Str) => true,
+            _ => false,
+        } && i > 0;
+        if !is_subscript {
+            continue;
+        }
+        let Some(close) = matching_bracket(toks, i) else {
+            continue;
+        };
+        let inner: Vec<&Tok> = toks
+            .get(i + 1..close)
+            .unwrap_or(&[])
+            .iter()
+            .map(|t| &t.tok)
+            .collect();
+        if inner.is_empty() || has_range(&inner) {
+            continue;
+        }
+        if let Some(op) = arithmetic_op(&inner) {
+            out.push(RawFinding::new(
+                "slice-index",
+                token.line,
+                format!(
+                    "computed index (`{op}` in subscript) can panic out of bounds: \
+                     use .get()/checked math or waive with the bound that holds"
+                ),
+            ));
+        }
+    }
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(toks: &[crate::lexer::Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, token) in toks.iter().enumerate().skip(open) {
+        match token.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does the token slice contain a `..` range (two adjacent `.` puncts)?
+fn has_range(inner: &[&Tok]) -> bool {
+    inner
+        .windows(2)
+        .any(|w| matches!(w, [Tok::Punct('.'), Tok::Punct('.')]))
+}
+
+/// First top-level arithmetic operator in an index expression, if any.
+/// Nested calls/brackets are skipped: `v[f(a + b)]` trusts `f` to return a
+/// valid index, the same way `v[i]` trusts `i`.
+fn arithmetic_op(inner: &[&Tok]) -> Option<char> {
+    let mut depth = 0usize;
+    let mut prev_was_value = false;
+    for tok in inner {
+        match tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => {
+                depth += 1;
+                prev_was_value = false;
+            }
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                prev_was_value = true;
+            }
+            Tok::Punct(op @ ('+' | '-' | '*' | '/' | '%')) if depth == 0 => {
+                // `*x` deref and `-1` negation are unary when no value
+                // precedes; only binary arithmetic counts.
+                if prev_was_value {
+                    return Some(*op);
+                }
+            }
+            Tok::Ident(_) | Tok::Int | Tok::Float | Tok::Str => prev_was_value = true,
+            _ => prev_was_value = false,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rule: fn(&SourceFile, &FileCtx, &mut Vec<RawFinding>), src: &str) -> Vec<RawFinding> {
+        let file = SourceFile::parse("t.rs", src);
+        let mut out = Vec::new();
+        rule(&file, &FileCtx::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged_outside_tests() {
+        let src = "let x = foo().unwrap();\nlet y = bar().expect(\"reason\");\n\
+                   #[cfg(test)]\nmod tests { fn t() { baz().unwrap(); } }\n";
+        let hits = run(check_panics, src);
+        assert_eq!(hits.len(), 2);
+        // `unwrap_or` and a field named `expect` must not match.
+        assert!(run(
+            check_panics,
+            "let x = foo().unwrap_or(0); let y = c.expect;"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged() {
+        let src = "fn f() { panic!(\"boom\"); }\nfn g() { unreachable!() }\nfn h() { todo!() }\n";
+        assert_eq!(run(check_panics, src).len(), 3);
+        // A fn named panic (no `!`) is fine.
+        assert!(run(check_panics, "fn f() { panic_handler(); }").is_empty());
+    }
+
+    #[test]
+    fn computed_index_flagged_plain_index_not() {
+        assert_eq!(run(check_slice_index, "let x = v[i + 1];").len(), 1);
+        assert_eq!(run(check_slice_index, "let x = v[n - k];").len(), 1);
+        assert!(run(check_slice_index, "let x = v[i];").is_empty());
+        assert!(run(check_slice_index, "let x = v[0];").is_empty());
+        assert!(run(check_slice_index, "let s = &v[1..n];").is_empty());
+        assert!(run(check_slice_index, "let t = [a + b, c];").is_empty()); // array literal
+        assert!(run(check_slice_index, "let x = v[f(a + b)];").is_empty()); // nested call
+        assert!(run(check_slice_index, "let x = m[&key];").is_empty()); // map index
+    }
+
+    #[test]
+    fn unary_ops_in_index_are_not_arithmetic() {
+        assert!(run(check_slice_index, "let x = v[*i];").is_empty());
+        assert!(run(check_slice_index, "let x = v[i * 2];").len() == 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Unsafe-audit rule: the workspace is currently `unsafe`-free, and this rule
+//! pins the bar for any future unsafe (SIMD kernels, arena tricks): every
+//! `unsafe` token must sit next to a `// SAFETY:` comment explaining why the
+//! invariants hold.
+
+use crate::lexer::Tok;
+use crate::rules::{FileCtx, RawFinding};
+use crate::source::SourceFile;
+
+/// How many lines above the `unsafe` token a `SAFETY:` comment may sit.
+const SAFETY_COMMENT_REACH: u32 = 3;
+
+/// `unsafe-no-safety`: an `unsafe` block/fn/impl without a nearby
+/// `// SAFETY:` justification.
+pub fn check_unsafe(file: &SourceFile, _ctx: &FileCtx, out: &mut Vec<RawFinding>) {
+    for token in &file.tokens {
+        if let Tok::Ident(name) = &token.tok {
+            if name == "unsafe" && !file.has_safety_comment_near(token.line, SAFETY_COMMENT_REACH) {
+                out.push(RawFinding::new(
+                    "unsafe-no-safety",
+                    token.line,
+                    "`unsafe` without a `// SAFETY:` comment within 3 lines: state the \
+                     invariant that makes this sound"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<RawFinding> {
+        let file = SourceFile::parse("t.rs", src);
+        let mut out = Vec::new();
+        check_unsafe(&file, &FileCtx::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_unsafe_flagged() {
+        assert_eq!(run("fn f() { unsafe { go() } }").len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_rule() {
+        let src = "// SAFETY: the buffer is exactly 8 bytes by construction\nunsafe { read(p) }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_too_far_does_not_count() {
+        let src = "// SAFETY: stale\n\n\n\n\nunsafe { read(p) }\n";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_string_is_invisible() {
+        assert!(run("let s = \"unsafe\";").is_empty());
+    }
+}

@@ -1,0 +1,326 @@
+//! Per-file analysis state: the token stream, `#[cfg(test)]` region map, and
+//! the waiver table parsed from `// lint:allow(...)` comments.
+//!
+//! ## Waiver grammar
+//!
+//! ```text
+//! // lint:allow(rule-a, rule-b) -- why this occurrence is acceptable
+//! ```
+//!
+//! A waiver on the same line as code covers that line; a waiver alone on its
+//! line covers the next line that has code.  The reason after `--` is
+//! mandatory — a waiver without one is itself a finding — and every waiver
+//! must suppress at least one finding or it is reported as stale.
+
+use crate::lexer::{lex, Tok, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One parsed `lint:allow` waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule ids this waiver names.
+    pub rules: Vec<String>,
+    /// The line the comment sits on.
+    pub line: u32,
+    /// The line the waiver covers (same line, or next code line).
+    pub covers: u32,
+    /// Justification text after `--`, empty if missing.
+    pub reason: String,
+}
+
+/// A lexed source file plus the derived maps the rules consume.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    pub tokens: Vec<Token>,
+    /// Lines covered by `#[cfg(test)]` / `#[test]` items.
+    test_lines: BTreeSet<u32>,
+    /// Lines that have a `SAFETY:` comment ending on them.
+    safety_comment_lines: BTreeSet<u32>,
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    /// Lex and index one file.
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+
+        let mut waivers = Vec::new();
+        let mut safety_comment_lines = BTreeSet::new();
+        for comment in &lexed.comments {
+            if comment.text.contains("SAFETY:") {
+                safety_comment_lines.insert(comment.end_line);
+            }
+            if comment.is_line {
+                if let Some(mut waiver) = parse_waiver(&comment.text, comment.line) {
+                    waiver.covers = if token_lines.contains(&comment.line) {
+                        comment.line
+                    } else {
+                        // Standalone comment: covers the next code line.
+                        token_lines
+                            .range(comment.line + 1..)
+                            .next()
+                            .copied()
+                            .unwrap_or(comment.line)
+                    };
+                    waivers.push(waiver);
+                }
+            }
+        }
+
+        let test_lines = test_regions(&lexed.tokens);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            tokens: lexed.tokens,
+            test_lines,
+            safety_comment_lines,
+            waivers,
+        }
+    }
+
+    /// True when `line` is inside a `#[cfg(test)]` module or `#[test]` item.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_lines.contains(&line)
+    }
+
+    /// True when a `SAFETY:` comment ends on `line` or within `back` lines
+    /// above it.
+    pub fn has_safety_comment_near(&self, line: u32, back: u32) -> bool {
+        let from = line.saturating_sub(back);
+        self.safety_comment_lines
+            .range(from..=line)
+            .next()
+            .is_some()
+    }
+
+    /// The waivers naming `rule` that cover `line`.
+    pub fn waiver_for(&self, rule: &str, line: u32) -> Option<usize> {
+        self.waivers
+            .iter()
+            .position(|w| w.covers == line && w.rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Parse `lint:allow(a, b) -- reason` out of one line comment's text.
+///
+/// The marker must open the comment (`// lint:allow(...)`): that keeps prose
+/// *about* waivers — doc comments, this sentence — from being parsed as one.
+fn parse_waiver(text: &str, line: u32) -> Option<Waiver> {
+    let trimmed = text.trim_start();
+    if !trimmed.starts_with("lint:allow(") {
+        return None;
+    }
+    let after = trimmed.get("lint:allow(".len()..)?;
+    let close = after.find(')')?;
+    let rules: Vec<String> = after
+        .get(..close)?
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let rest = after.get(close + 1..).unwrap_or("");
+    let reason = match rest.find("--") {
+        Some(dash) => rest.get(dash + 2..).unwrap_or("").trim().to_string(),
+        None => String::new(),
+    };
+    Some(Waiver {
+        rules,
+        line,
+        covers: line,
+        reason,
+    })
+}
+
+/// Compute the set of lines covered by test-only items.
+///
+/// Recognises `#[cfg(test)]` and `#[test]` attributes (rejecting
+/// `#[cfg(not(test))]`), skips any further attributes, then spans the item to
+/// its closing brace (or `;` for `mod tests;` forms).
+fn test_regions(tokens: &[Token]) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some((attr_end, is_test)) = parse_attribute(tokens, i) {
+            if is_test {
+                let start_line = tokens.get(i).map(|t| t.line).unwrap_or(1);
+                let mut j = attr_end;
+                // Skip any further attributes on the same item.
+                while let Some((next_end, _)) = parse_attribute(tokens, j) {
+                    j = next_end;
+                }
+                let end = item_end(tokens, j);
+                let end_line = tokens
+                    .get(end.saturating_sub(1))
+                    .map(|t| t.line)
+                    .unwrap_or(start_line);
+                lines.extend(start_line..=end_line);
+                i = end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    lines
+}
+
+/// If tokens at `i` start an attribute `#[...]`, return (index past `]`,
+/// whether it marks test-only code).
+fn parse_attribute(tokens: &[Token], i: usize) -> Option<(usize, bool)> {
+    if tokens.get(i)?.tok != Tok::Punct('#') {
+        return None;
+    }
+    // `#![...]` inner attributes apply to the whole file; never a test marker
+    // we want to span-match, so treat them like any attribute and keep going.
+    let mut j = i + 1;
+    if tokens.get(j)?.tok == Tok::Punct('!') {
+        j += 1;
+    }
+    if tokens.get(j)?.tok != Tok::Punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut has_cfg_or_bare = false;
+    let mut first_ident = true;
+    while let Some(token) = tokens.get(j) {
+        match &token.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    let is_test = has_test && !has_not && has_cfg_or_bare;
+                    return Some((j + 1, is_test));
+                }
+            }
+            Tok::Ident(name) => {
+                if first_ident {
+                    has_cfg_or_bare = name == "cfg" || name == "test";
+                    first_ident = false;
+                }
+                match name.as_str() {
+                    "test" => has_test = true,
+                    "not" => has_not = true,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index one past the end of the item starting at `i`: the matching `}` of its
+/// first top-level brace, or the first `;` seen before any brace.
+fn item_end(tokens: &[Token], i: usize) -> usize {
+    let mut j = i;
+    // Find the item's opening `{` or terminating `;`, skipping nested
+    // parens/brackets (e.g. a fn signature's argument list).
+    let mut paren = 0i32;
+    while let Some(token) = tokens.get(j) {
+        match token.tok {
+            Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+            Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+            Tok::Punct(';') if paren == 0 => return j + 1,
+            Tok::Punct('{') if paren == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    // Match the braces.
+    let mut depth = 0usize;
+    while let Some(token) = tokens.get(j) {
+        match token.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Tracks which waivers suppressed at least one finding, across all files.
+#[derive(Default)]
+pub struct WaiverLedger {
+    used: BTreeMap<String, BTreeSet<usize>>,
+}
+
+impl WaiverLedger {
+    pub fn mark_used(&mut self, file: &str, index: usize) {
+        self.used.entry(file.to_string()).or_default().insert(index);
+    }
+
+    pub fn is_used(&self, file: &str, index: usize) -> bool {
+        self.used.get(file).is_some_and(|s| s.contains(&index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_parses_rules_and_reason() {
+        let src = "let m = HashMap::new(); // lint:allow(unordered-collection) -- lookup only\n";
+        let file = SourceFile::parse("x.rs", src);
+        assert_eq!(file.waivers.len(), 1);
+        assert_eq!(file.waivers[0].rules, vec!["unordered-collection"]);
+        assert_eq!(file.waivers[0].reason, "lookup only");
+        assert_eq!(file.waivers[0].covers, 1);
+        assert!(file.waiver_for("unordered-collection", 1).is_some());
+        assert!(file.waiver_for("panic", 1).is_none());
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_code_line() {
+        let src = "\n// lint:allow(panic, slice-index) -- test helper\n\nlet x = v[i + 1];\n";
+        let file = SourceFile::parse("x.rs", src);
+        assert_eq!(file.waivers.len(), 1);
+        assert_eq!(file.waivers[0].covers, 4);
+        assert_eq!(file.waivers[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn waiver_without_reason_has_empty_reason() {
+        let file = SourceFile::parse("x.rs", "// lint:allow(panic)\nfoo();\n");
+        assert_eq!(file.waivers.len(), 1);
+        assert!(file.waivers[0].reason.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_test_lines() {
+        let src = "fn real() {}\n\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n\nfn also_real() {}\n";
+        let file = SourceFile::parse("x.rs", src);
+        assert!(!file.in_test(1));
+        assert!(file.in_test(3));
+        assert!(file.in_test(4));
+        assert!(file.in_test(5));
+        assert!(file.in_test(6));
+        assert!(!file.in_test(8));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn real() { body(); }\n";
+        let file = SourceFile::parse("x.rs", src);
+        assert!(!file.in_test(2));
+    }
+
+    #[test]
+    fn safety_comment_proximity() {
+        let src = "code();\n// SAFETY: aligned by construction\nunsafe { go() }\n";
+        let file = SourceFile::parse("x.rs", src);
+        assert!(file.has_safety_comment_near(3, 3));
+        assert!(!file.has_safety_comment_near(1, 0));
+    }
+}

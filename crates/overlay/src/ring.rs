@@ -131,12 +131,12 @@ impl IdRing {
         let mut result = Vec::with_capacity(k);
         let mut up = self.successor(key);
         let mut down = self.predecessor(key);
-        let mut taken = std::collections::HashSet::with_capacity(k);
+        let mut taken = std::collections::BTreeSet::new();
         while result.len() < k {
             let du = up.map(|(id, _)| key.distance(id)).unwrap_or(u128::MAX);
             let dd = down.map(|(id, _)| key.distance(id)).unwrap_or(u128::MAX);
             let pick_up = du <= dd;
-            let (id, node) = if pick_up { up.unwrap() } else { down.unwrap() };
+            let (id, node) = if pick_up { up.unwrap() } else { down.unwrap() }; // lint:allow(panic) -- picked side is non-None: du/dd are MAX only when that side is exhausted
             if taken.insert(id) {
                 result.push((id, node));
             } else if taken.len() >= n {

@@ -10,7 +10,7 @@
 
 use crate::topology::DomainId;
 use peerstripe_sim::OnlineStats;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Achieved placement diversity, accumulated chunk by chunk.
 #[derive(Debug, Clone)]
@@ -53,7 +53,7 @@ impl SpreadReport {
     where
         I: IntoIterator<Item = Option<DomainId>>,
     {
-        let mut counts: HashMap<DomainId, usize> = HashMap::new();
+        let mut counts: BTreeMap<DomainId, usize> = BTreeMap::new();
         let mut blocks = 0u64;
         for d in domains {
             blocks += 1;

@@ -381,7 +381,7 @@ impl CapacityWeighted {
         // Float rounding can push x to (or past) the exact weight sum, so the
         // walk may run off the end; the last eligible node is the fallback,
         // and the domain bookkeeping below covers both outcomes.
-        let mut pick = *eligible.last().expect("non-empty");
+        let mut pick = *eligible.last().expect("non-empty"); // lint:allow(panic) -- eligible verified non-empty before the weighted walk
         let mut x = (rng.next_f64() * total as f64) as u128;
         for &(node, report) in &eligible {
             let w = report.as_u64() as u128;

@@ -237,7 +237,7 @@ impl Topology {
             }
             let mut split: Vec<Vec<NodeRef>> = vec![Vec::new(); domains_per_class];
             for (i, node) in members.into_iter().enumerate() {
-                split[i % domains_per_class].push(node);
+                split[i % domains_per_class].push(node); // lint:allow(slice-index) -- i % domains_per_class < domains_per_class == split.len()
             }
             for (g, members) in split.into_iter().enumerate() {
                 if members.is_empty() {

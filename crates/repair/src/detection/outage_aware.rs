@@ -172,7 +172,7 @@ impl DetectionPolicy for OutageAware {
             return DeclarationVerdict::Cancel;
         }
         // confirm() guarantees the node is down.
-        let down_at = self.tracker.down_since(node).expect("confirmed down");
+        let down_at = self.tracker.down_since(node).expect("confirmed down"); // lint:allow(panic) -- confirm() above guarantees the node is tracked down
         let deadline = self.hold_deadline(down_at);
         if now >= deadline || !self.outage_classified(node) {
             // Past the hard cap, or the absence no longer looks correlated

@@ -268,7 +268,7 @@ impl MaintenanceEngine {
             }
             // Redundancy (and decode sources) came back: deferred repairs of
             // the chunks this node participates in may be able to run now.
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for chunk in chunks {
                 if seen.insert(chunk) {
                     self.maybe_repair(q, now, chunk);

@@ -95,7 +95,7 @@ impl RegenerationExecutor {
                 })
             };
         }
-        let present: std::collections::HashSet<u32> = surviving.iter().map(|b| b.index).collect();
+        let present: std::collections::BTreeSet<u32> = surviving.iter().map(|b| b.index).collect();
         let missing: Vec<u32> = (0..self.codec.encoded_blocks() as u32)
             .filter(|i| !present.contains(i))
             .collect();
@@ -148,7 +148,7 @@ impl RegenerationExecutor {
                 ObjectName::Chunk { file, chunk } => Some((file.clone(), *chunk)),
                 _ => None,
             })
-            .expect("a chunk with rebuilt blocks has at least one named block");
+            .expect("a chunk with rebuilt blocks has at least one named block"); // lint:allow(panic) -- rebuilt blocks exist only for chunks with named blocks
         let next_ecb = chunk
             .blocks
             .iter()

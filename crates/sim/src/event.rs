@@ -235,7 +235,7 @@ impl<E> EventQueue<E> {
             if t > deadline {
                 break;
             }
-            let (t, e) = self.pop().expect("peeked event must pop");
+            let (t, e) = self.pop().expect("peeked event must pop"); // lint:allow(panic) -- pop follows a successful peek on the same queue
             handler(self, t, e);
         }
         self.processed - start

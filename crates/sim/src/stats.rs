@@ -241,8 +241,9 @@ impl Series {
         if x <= self.points[0].0 {
             return Some(self.points[0].1);
         }
+        // lint:allow(slice-index) -- points verified non-empty by the is_empty check above
         if x >= self.points[self.points.len() - 1].0 {
-            return Some(self.points[self.points.len() - 1].1);
+            return Some(self.points[self.points.len() - 1].1); // lint:allow(slice-index) -- points verified non-empty by the is_empty check above
         }
         for w in self.points.windows(2) {
             let (x0, y0) = w[0];

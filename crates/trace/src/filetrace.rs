@@ -176,7 +176,7 @@ impl Trace {
 
     /// Serialise to JSON (one object; used to snapshot workloads for experiments).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serialisation cannot fail")
+        serde_json::to_string(self).expect("trace serialisation cannot fail") // lint:allow(panic) -- serialising owned plain data cannot fail
     }
 
     /// Parse a trace from JSON.
