@@ -1,0 +1,140 @@
+//! Benchmarks the telemetry layer's overhead on the maintenance hot path.
+//!
+//! Two questions matter for the sim's fidelity claims:
+//!
+//!   1. How expensive is a registry update (counter inc / histogram observe)?
+//!      These sit on the per-event path of the engine, so they must stay in
+//!      the tens-of-nanoseconds range.
+//!   2. What does attaching a tracer cost a full engine run? The `NullTracer`
+//!      default must be free (it is the configuration every sweep uses), and
+//!      the structured tracers should stay within a small constant factor.
+//!
+//! `repair_schedule` remains the regression guard for the untraced engine;
+//! this bench isolates the telemetry delta.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use peerstripe_core::{ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem};
+use peerstripe_repair::{
+    BandwidthBudget, ChurnProcess, DetectionKind, DetectorConfig, MaintenanceEngine, RepairConfig,
+    RepairPolicy, SessionModel,
+};
+use peerstripe_sim::{ByteSize, DetRng, SimTime};
+use peerstripe_telemetry::{JsonlTracer, MetricsRegistry, NullTracer, RingBufferTracer, Tracer};
+use peerstripe_trace::TraceConfig;
+use std::time::Duration;
+
+/// Registry hot-path cost: get-or-create is amortised away by reusing the
+/// handle, exactly as the engine does.
+fn bench_registry_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_registry");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let mut registry = MetricsRegistry::new();
+    let counter = registry.counter("bench_events_total", &[("kind", "inc")]);
+    group.bench_function("counter_inc", |b| {
+        b.iter(|| {
+            registry.inc(counter, 1);
+            registry.counter_value(counter)
+        })
+    });
+
+    let bounds = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
+    let histogram = registry.histogram("bench_bytes", &[("kind", "observe")], &bounds);
+    let mut value = 1.0f64;
+    group.bench_function("histogram_observe", |b| {
+        b.iter(|| {
+            // Walk the buckets so every branch of the linear scan is hit.
+            value = if value > 1e8 { 1.0 } else { value * 3.7 };
+            registry.observe(histogram, value);
+        })
+    });
+
+    // Lookup-by-name is the cold path (export, tests); keep it honest too.
+    group.bench_function("find_counter", |b| {
+        b.iter(|| registry.find_counter("bench_events_total", &[("kind", "inc")]))
+    });
+    group.finish();
+}
+
+/// A deployed cluster + manifests, cloneable per measurement batch. Smaller
+/// than `repair_schedule`'s populations: here the *relative* cost of the
+/// tracer is the measurement, not absolute engine throughput.
+fn deploy(
+    nodes: usize,
+    seed: u64,
+) -> (
+    peerstripe_core::StorageCluster,
+    peerstripe_core::ManifestStore,
+) {
+    let mut rng = DetRng::new(seed);
+    let cluster = ClusterConfig::scaled(nodes).build(&mut rng);
+    let mut ps = PeerStripe::new(
+        cluster,
+        PeerStripeConfig::default().with_coding(CodingPolicy::online_default()),
+    );
+    let trace = TraceConfig::scaled(nodes * 2).generate(seed ^ 0xc0de);
+    for file in &trace.files {
+        let _ = ps.store_file(file);
+    }
+    let manifests = ps.manifests().clone();
+    (ps.into_cluster(), manifests)
+}
+
+fn engine_of(
+    cluster: peerstripe_core::StorageCluster,
+    manifests: &peerstripe_core::ManifestStore,
+    seed: u64,
+) -> MaintenanceEngine {
+    let churn = ChurnProcess {
+        sessions: SessionModel::Synthetic {
+            mean_session_secs: 8.0 * 3_600.0,
+            mean_downtime_secs: 4.0 * 3_600.0,
+        },
+        permanent_fraction: 0.01,
+        grouped: None,
+    };
+    let config = RepairConfig {
+        policy: RepairPolicy::Eager,
+        detector: DetectorConfig::default_desktop_grid().with_timeout(24.0 * 3_600.0),
+        detection: DetectionKind::PerNodeTimeout,
+        bandwidth: BandwidthBudget::symmetric(ByteSize::mb(4)),
+        sample_period_secs: 3_600.0,
+    };
+    MaintenanceEngine::new(cluster, manifests, churn, config, seed)
+}
+
+/// A full 24 h engine run under each tracer. `null` is the baseline every
+/// sweep pays; `jsonl` serialises every record; `ring` keeps the last 4096.
+fn bench_tracer_attach(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_engine");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(8));
+    let nodes = 500usize;
+    let (cluster, manifests) = deploy(nodes, 42);
+    type MakeTracer = fn() -> Box<dyn Tracer>;
+    let tracers: [(&str, MakeTracer); 3] = [
+        ("null", || Box::new(NullTracer)),
+        ("jsonl", || Box::new(JsonlTracer::new())),
+        ("ring_4096", || Box::new(RingBufferTracer::new(4096))),
+    ];
+    for (label, make_tracer) in tracers {
+        group.bench_function(format!("churn_24h/{nodes}_nodes/{label}"), |b| {
+            b.iter_batched(
+                || engine_of(cluster.clone(), &manifests, 42).with_tracer(make_tracer()),
+                |mut engine| {
+                    engine.run_for(SimTime::from_secs(24 * 3_600));
+                    engine.events_processed()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry_ops, bench_tracer_attach);
+criterion_main!(benches);

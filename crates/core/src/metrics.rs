@@ -11,6 +11,7 @@
 //! useful byte protected" next to the durability it bought.
 
 use peerstripe_sim::{ByteSize, OnlineStats, SimTime};
+use peerstripe_telemetry::MetricsRegistry;
 
 /// Counters and distributions describing a sequence of file stores.
 #[derive(Debug, Clone, Default)]
@@ -246,6 +247,65 @@ impl MaintenanceMetrics {
             0.0
         } else {
             self.repair_bytes.as_u64() as f64 / useful.as_u64() as f64
+        }
+    }
+
+    /// Export every counter into a [`MetricsRegistry`] under the given label
+    /// set — the bridge from the engine's bespoke struct onto the shared
+    /// telemetry registry, so sweeps can merge per-cell metrics (labelled by
+    /// policy/strategy/domain) into one deterministic JSON export.
+    pub fn fill_registry(&self, registry: &mut MetricsRegistry, labels: &[(&str, &str)]) {
+        let counters: [(&str, u64); 13] = [
+            ("maintenance_repair_bytes_total", self.repair_bytes.as_u64()),
+            (
+                "maintenance_blocks_regenerated_total",
+                self.blocks_regenerated,
+            ),
+            ("maintenance_repairs_dropped_total", self.repairs_dropped),
+            (
+                "maintenance_permanent_failures_total",
+                self.permanent_failures,
+            ),
+            (
+                "maintenance_transient_departures_total",
+                self.transient_departures,
+            ),
+            ("maintenance_group_outages_total", self.group_outages),
+            ("maintenance_group_departures_total", self.group_departures),
+            (
+                "maintenance_false_declarations_total",
+                self.false_declarations,
+            ),
+            (
+                "maintenance_wasted_repair_bytes_total",
+                self.wasted_repair_bytes.as_u64(),
+            ),
+            (
+                "maintenance_declarations_held_total",
+                self.declarations_held,
+            ),
+            ("maintenance_held_cancelled_total", self.held_cancelled),
+            ("maintenance_files_lost_total", self.files_lost),
+            ("maintenance_bytes_lost_total", self.bytes_lost.as_u64()),
+        ];
+        for (name, value) in counters {
+            let handle = registry.counter(name, labels);
+            registry.inc(handle, value);
+        }
+        let gauges: [(&str, f64); 3] = [
+            (
+                "maintenance_availability_mean_pct",
+                self.mean_availability_pct(),
+            ),
+            (
+                "maintenance_availability_min_pct",
+                self.min_availability_pct(),
+            ),
+            ("maintenance_samples", self.samples.len() as f64),
+        ];
+        for (name, value) in gauges {
+            let handle = registry.gauge(name, labels);
+            registry.set(handle, value);
         }
     }
 }

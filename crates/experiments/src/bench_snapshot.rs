@@ -2,9 +2,10 @@
 //! hot paths the criterion benches guard, written as small JSON files under
 //! `benchmarks/` so perf regressions show up in review as a diff.
 //!
-//! The snapshots mirror `crates/bench/benches/repair_schedule.rs` and
-//! `detector_decide.rs` exactly (same deployment, same churn, same decide
-//! loop) but run each measurement a handful of times and keep the best —
+//! The snapshots mirror `crates/bench/benches/repair_schedule.rs`,
+//! `detector_decide.rs` and `placement_decide.rs` exactly (same deployment,
+//! same churn, same decide loop) but run each measurement a handful of times
+//! and keep the best —
 //! good enough to catch an order-of-magnitude regression without criterion's
 //! multi-minute statistics.  Numbers are machine-dependent by nature; the
 //! committed files record the machine-independent *shape* (events processed,
@@ -15,7 +16,8 @@
 
 use crate::Scale;
 use peerstripe_core::{ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem};
-use peerstripe_placement::Topology;
+use peerstripe_overlay::Id;
+use peerstripe_placement::{RepairRequest, StrategyKind, Topology};
 use peerstripe_repair::{
     BandwidthBudget, ChurnProcess, DeclarationVerdict, DetectionKind, DetectionPolicy,
     DetectorConfig, MaintenanceEngine, OutageAware, OutageAwareConfig, PerNodeTimeout,
@@ -23,6 +25,7 @@ use peerstripe_repair::{
 };
 use peerstripe_sim::{ByteSize, DetRng, SimTime};
 use peerstripe_trace::TraceConfig;
+use serde::Deserialize;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -31,6 +34,10 @@ use std::time::Instant;
 const GROUP_SIZE: usize = 25;
 /// Measurement repetitions per configuration; the best run is kept.
 const REPS: usize = 3;
+/// Blocks per chunk in the placement bench (matches `placement_decide.rs`).
+const BLOCKS_PER_CHUNK: usize = 8;
+/// Per-domain block cap in the placement bench (matches `placement_decide.rs`).
+const DOMAIN_CAP: usize = 4;
 
 /// Parameters of a snapshot run.
 #[derive(Debug, Clone)]
@@ -263,15 +270,89 @@ pub fn run_detector_decide_snapshot(config: &BenchSnapshotConfig) -> BenchSnapsh
     }
 }
 
-/// Run both snapshots and write them under `dir` as
-/// `BENCH_repair_schedule.json` and `BENCH_detector_decide.json`.
-/// Returns the written paths.
+/// Placement decision throughput: chunk-placement plans and repair-target
+/// picks per second for every strategy (mirrors `placement_decide.rs`).
+pub fn run_placement_decide_snapshot(config: &BenchSnapshotConfig) -> BenchSnapshot {
+    let mut rows = Vec::new();
+    for &nodes in &config.node_counts {
+        let mut rng = DetRng::new(7);
+        let base = ClusterConfig::scaled(nodes).build(&mut rng);
+        let topology = Topology::synthetic(nodes, 4, 8, 7);
+        for kind in StrategyKind::ALL {
+            // Chunk-placement planning: one 8-block plan per pass, fresh keys
+            // per chunk (the store path's hot decision).
+            let mut best = 0.0f64;
+            for _ in 0..REPS {
+                let mut cluster = base.clone();
+                let mut strategy = kind.build(7);
+                let mut chunk = 0u64;
+                let started = Instant::now();
+                let mut plans = 0u64;
+                while started.elapsed().as_secs_f64() < 0.1 {
+                    chunk += 1;
+                    let keys: Vec<Id> = (0..BLOCKS_PER_CHUNK as u64)
+                        .map(|ecb| Id::hash(&format!("bench-file_{chunk}_{ecb}")))
+                        .collect();
+                    let _ = strategy
+                        .plan_chunk(&mut cluster, Some(&topology), &keys, DOMAIN_CAP)
+                        .map(|picks| picks.len());
+                    plans += 1;
+                }
+                best = best.max(plans as f64 / started.elapsed().as_secs_f64());
+            }
+            rows.push(BenchRow {
+                id: format!("plan_chunk/{}/{nodes}_nodes", kind.label()),
+                work_units: BLOCKS_PER_CHUNK as u64,
+                per_sec: best,
+            });
+            // Repair targeting: one replacement pick against a half-placed
+            // chunk (the maintenance engine's hot decision).
+            let mut best = 0.0f64;
+            for _ in 0..REPS {
+                let cluster = base.clone();
+                let mut strategy = kind.build(7);
+                let mut pick_rng = DetRng::new(11);
+                let holders: Vec<usize> = (0..BLOCKS_PER_CHUNK - 1).map(|i| i * 7).collect();
+                let request = RepairRequest {
+                    want: 1,
+                    size: ByteSize::mb(8),
+                    holders: &holders,
+                    domain_cap: DOMAIN_CAP,
+                };
+                let started = Instant::now();
+                let mut picks = 0u64;
+                while started.elapsed().as_secs_f64() < 0.1 {
+                    let _ = strategy
+                        .repair_targets(&cluster, Some(&topology), &request, &mut pick_rng)
+                        .len();
+                    picks += 1;
+                }
+                best = best.max(picks as f64 / started.elapsed().as_secs_f64());
+            }
+            rows.push(BenchRow {
+                id: format!("repair_targets/{}/{nodes}_nodes", kind.label()),
+                work_units: 1,
+                per_sec: best,
+            });
+        }
+    }
+    BenchSnapshot {
+        name: "placement_decide".to_string(),
+        seed: config.seed,
+        rows,
+    }
+}
+
+/// Run all three snapshots and write them under `dir` as
+/// `BENCH_repair_schedule.json`, `BENCH_detector_decide.json` and
+/// `BENCH_placement_decide.json`.  Returns the written paths.
 pub fn write_snapshots(dir: &Path, config: &BenchSnapshotConfig) -> Result<Vec<PathBuf>, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let mut written = Vec::new();
     for snapshot in [
         run_repair_schedule_snapshot(config),
         run_detector_decide_snapshot(config),
+        run_placement_decide_snapshot(config),
     ] {
         let path = dir.join(format!("BENCH_{}.json", snapshot.name));
         std::fs::write(&path, snapshot.render_json())
@@ -279,6 +360,83 @@ pub fn write_snapshots(dir: &Path, config: &BenchSnapshotConfig) -> Result<Vec<P
         written.push(path);
     }
     Ok(written)
+}
+
+/// A committed `BENCH_*.json` file, parsed back.
+#[derive(Debug, Clone, Deserialize)]
+struct SnapshotFile {
+    benchmark: String,
+    #[allow(dead_code)]
+    seed: u64,
+    #[allow(dead_code)]
+    captured_with: String,
+    rows: Vec<SnapshotFileRow>,
+}
+
+/// One row of a committed snapshot file.
+#[derive(Debug, Clone, Deserialize)]
+struct SnapshotFileRow {
+    id: String,
+    #[allow(dead_code)]
+    work_units: u64,
+    per_sec: f64,
+}
+
+/// The fraction of a committed row's throughput a fresh measurement must
+/// reach for `check_repair_schedule` to pass.  Generous on purpose: the
+/// committed numbers are machine-dependent, so only an order-of-magnitude
+/// collapse (e.g. tracing overhead leaking into the `NullTracer` hot path)
+/// should fail the check.
+pub const CHECK_TOLERANCE: f64 = 0.5;
+
+/// Re-measure the `repair_schedule` snapshot (the engine hot path, with the
+/// default `NullTracer`) and compare against the committed
+/// `BENCH_repair_schedule.json` under `dir`.  Returns a per-row report, or an
+/// error naming every row that fell below [`CHECK_TOLERANCE`] of its
+/// committed throughput.
+pub fn check_repair_schedule(dir: &Path, config: &BenchSnapshotConfig) -> Result<String, String> {
+    let path = dir.join("BENCH_repair_schedule.json");
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let committed: SnapshotFile =
+        serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    if committed.benchmark != "repair_schedule" {
+        return Err(format!(
+            "{} is a '{}' snapshot, expected repair_schedule",
+            path.display(),
+            committed.benchmark
+        ));
+    }
+    let fresh = run_repair_schedule_snapshot(config);
+    let mut report = String::new();
+    let mut failures = Vec::new();
+    for row in &fresh.rows {
+        let Some(baseline) = committed.rows.iter().find(|r| r.id == row.id) else {
+            let _ = writeln!(report, "{}: no committed baseline (skipped)", row.id);
+            continue;
+        };
+        let ratio = if baseline.per_sec > 0.0 {
+            row.per_sec / baseline.per_sec
+        } else {
+            1.0
+        };
+        let _ = writeln!(
+            report,
+            "{}: {:.0}/s vs committed {:.0}/s ({:.2}x)",
+            row.id, row.per_sec, baseline.per_sec, ratio
+        );
+        if ratio < CHECK_TOLERANCE {
+            failures.push(format!(
+                "{} regressed to {:.2}x of the committed throughput",
+                row.id, ratio
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!("{report}\n{}", failures.join("\n")))
+    }
 }
 
 #[cfg(test)]
@@ -321,5 +479,47 @@ mod tests {
         assert_eq!(repair.rows.len(), 1);
         assert!(repair.rows[0].work_units > 0, "engine processed events");
         assert!(repair.rows[0].per_sec > 0.0);
+    }
+
+    #[test]
+    fn tiny_placement_snapshot_covers_every_strategy() {
+        let config = BenchSnapshotConfig {
+            node_counts: vec![60],
+            seed: 7,
+        };
+        let snapshot = run_placement_decide_snapshot(&config);
+        // plan_chunk + repair_targets per strategy.
+        assert_eq!(snapshot.rows.len(), 2 * StrategyKind::ALL.len());
+        for row in &snapshot.rows {
+            assert!(row.per_sec > 0.0, "{row:?}");
+        }
+        let json = snapshot.render_json();
+        assert!(json.contains("\"benchmark\": \"placement_decide\""));
+        assert!(json.contains("plan_chunk/overlay-random/60_nodes"));
+    }
+
+    #[test]
+    fn check_round_trips_a_written_snapshot() {
+        let config = BenchSnapshotConfig {
+            node_counts: vec![50],
+            seed: 7,
+        };
+        let dir = std::env::temp_dir().join(format!("bench_check_{}", std::process::id()));
+        // A snapshot checked against itself (same machine, moments later)
+        // must pass the tolerance.
+        write_snapshots(&dir, &config).unwrap();
+        let report = check_repair_schedule(&dir, &config).unwrap();
+        assert!(report.contains("churn_24h/50_nodes"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_rejects_a_missing_baseline_dir() {
+        let config = BenchSnapshotConfig {
+            node_counts: vec![50],
+            seed: 7,
+        };
+        let dir = std::env::temp_dir().join("bench_check_missing_dir_nonexistent");
+        assert!(check_repair_schedule(&dir, &config).is_err());
     }
 }

@@ -4,6 +4,8 @@
 //! repro <experiment> [--scale small|medium|paper] [--seed N]
 //! repro lint [--format text|json]
 //! repro bench-snapshot [--out DIR] [--scale small|medium|paper] [--seed N]
+//! repro trace [--scenario NAME] [--scale ...] [--seed N] [--profile] [--out DIR]
+//! repro trace-summary FILE [--format text|json]
 //!
 //! experiments:
 //!   fig7 fig8 fig9 table1   file-insertion comparison (PAST vs CFS vs PeerStripe)
@@ -20,6 +22,8 @@
 //! tooling:
 //!   lint                    run the workspace determinism & panic-safety linter
 //!   bench-snapshot          capture BENCH_*.json perf snapshots under benchmarks/
+//!   trace                   run a named scenario with the JSONL tracer attached
+//!   trace-summary           digest a .jsonl trace into causal loss breakdowns
 //! ```
 
 use peerstripe_experiments::cli::run_experiment_with;
@@ -32,16 +36,28 @@ struct Args {
     seed: u64,
     /// `repro lint --format json`
     json: bool,
-    /// `repro bench-snapshot --out DIR`
+    /// `repro bench-snapshot --out DIR` / `repro trace --out DIR`
     out_dir: Option<std::path::PathBuf>,
+    /// `repro trace --scenario NAME`
+    scenario: String,
+    /// `repro trace --profile`
+    profile: bool,
+    /// `repro bench-snapshot --check`
+    check: bool,
+    /// `repro trace-summary FILE`: the trailing positional path.
+    path: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut experiment = None;
+    let mut experiment: Option<String> = None;
     let mut scale = Scale::Medium;
     let mut seed = 42u64;
     let mut json = false;
     let mut out_dir = None;
+    let mut scenario = "placement-outage".to_string();
+    let mut profile = false;
+    let mut check = false;
+    let mut path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -62,11 +78,19 @@ fn parse_args() -> Result<Args, String> {
                 let value = args.next().ok_or("--out needs a directory")?;
                 out_dir = Some(std::path::PathBuf::from(value));
             }
+            "--scenario" => {
+                scenario = args.next().ok_or("--scenario needs a value")?;
+            }
+            "--profile" => profile = true,
+            "--check" => check = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
             }
             other if experiment.is_none() => experiment = Some(other.to_string()),
+            other if experiment.as_deref() == Some("trace-summary") && path.is_none() => {
+                path = Some(std::path::PathBuf::from(other));
+            }
             other => return Err(format!("unexpected argument '{other}'\n{}", usage())),
         }
     }
@@ -76,6 +100,10 @@ fn parse_args() -> Result<Args, String> {
         seed,
         json,
         out_dir,
+        scenario,
+        profile,
+        check,
+        path,
     })
 }
 
@@ -83,8 +111,11 @@ fn usage() -> String {
     format!(
         "usage: repro <{}|all> [--scale small|medium|paper] [--seed N]\n\
                 repro lint [--format text|json]\n\
-                repro bench-snapshot [--out DIR] [--scale small|medium|paper] [--seed N]",
-        peerstripe_experiments::cli::EXPERIMENTS.join("|")
+                repro bench-snapshot [--out DIR] [--scale small|medium|paper] [--seed N] [--check]\n\
+                repro trace [--scenario <{}>] [--scale small|medium|paper] [--seed N] [--profile] [--out DIR]\n\
+                repro trace-summary FILE [--format text|json]",
+        peerstripe_experiments::cli::EXPERIMENTS.join("|"),
+        peerstripe_experiments::trace_cmd::SCENARIOS.join("|"),
     )
 }
 
@@ -141,6 +172,21 @@ fn run_bench_snapshot(args: &Args) -> ! {
     let config = peerstripe_experiments::bench_snapshot::BenchSnapshotConfig::at_scale(
         args.scale, args.seed,
     );
+    if args.check {
+        // Regression check: re-measure the engine hot path and compare
+        // against the committed snapshot instead of overwriting it.
+        match peerstripe_experiments::bench_snapshot::check_repair_schedule(&dir, &config) {
+            Ok(report) => {
+                print!("{report}");
+                println!("bench-snapshot check passed");
+                std::process::exit(0);
+            }
+            Err(msg) => {
+                eprintln!("repro bench-snapshot --check: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!(
         "# capturing perf snapshots at {:?} nodes (seed {}) into {}",
         config.node_counts,
@@ -161,6 +207,107 @@ fn run_bench_snapshot(args: &Args) -> ! {
     }
 }
 
+/// `repro trace`: run a scenario with the JSONL tracer and write the trace,
+/// its summary, and the metrics-registry export next to each other.
+fn run_trace(args: &Args) -> ! {
+    let dir = match &args.out_dir {
+        Some(dir) => dir.clone(),
+        None => match workspace_root() {
+            Ok(root) => root.join("target").join("traces"),
+            Err(msg) => {
+                eprintln!("repro trace: {msg}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let config = peerstripe_experiments::trace_cmd::TraceCmdConfig {
+        scenario: args.scenario.clone(),
+        scale: args.scale,
+        seed: args.seed,
+        profile: args.profile,
+    };
+    let artifacts = match peerstripe_experiments::trace_cmd::run_trace(&config) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("repro trace: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let summary = match peerstripe_experiments::trace_cmd::summarize(&artifacts.jsonl) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("repro trace: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let stem = format!("trace_{}_{}_seed{}", args.scenario, args.scale, args.seed);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("repro trace: create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    let writes = [
+        (dir.join(format!("{stem}.jsonl")), artifacts.jsonl.clone()),
+        (
+            dir.join(format!("{stem}.summary.json")),
+            peerstripe_experiments::trace_cmd::render_summary_json(&summary),
+        ),
+        (
+            dir.join(format!("{stem}.metrics.json")),
+            artifacts.metrics_json.clone(),
+        ),
+    ];
+    for (file, contents) in &writes {
+        if let Err(e) = std::fs::write(file, contents) {
+            eprintln!("repro trace: write {}: {e}", file.display());
+            std::process::exit(2);
+        }
+        println!("wrote {}", file.display());
+    }
+    print!(
+        "\n{}",
+        peerstripe_experiments::trace_cmd::render_summary_text(&summary)
+    );
+    if let Some(profile) = &artifacts.profile_text {
+        print!("\nper-phase wall-clock profile:\n{profile}");
+    }
+    std::process::exit(0);
+}
+
+/// `repro trace-summary FILE`: digest an existing trace.
+fn run_trace_summary(args: &Args) -> ! {
+    let Some(path) = &args.path else {
+        eprintln!("repro trace-summary: a trace file is required\n{}", usage());
+        std::process::exit(2);
+    };
+    let jsonl = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repro trace-summary: read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    match peerstripe_experiments::trace_cmd::summarize(&jsonl) {
+        Ok(summary) => {
+            if args.json {
+                println!(
+                    "{}",
+                    peerstripe_experiments::trace_cmd::render_summary_json(&summary)
+                );
+            } else {
+                print!(
+                    "{}",
+                    peerstripe_experiments::trace_cmd::render_summary_text(&summary)
+                );
+            }
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("repro trace-summary: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -172,6 +319,8 @@ fn main() {
     match args.experiment.as_str() {
         "lint" => run_lint(args.json),
         "bench-snapshot" => run_bench_snapshot(&args),
+        "trace" => run_trace(&args),
+        "trace-summary" => run_trace_summary(&args),
         _ => {}
     }
     println!(

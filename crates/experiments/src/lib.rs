@@ -35,5 +35,6 @@ pub mod repair_sweep;
 pub mod report;
 pub mod scale;
 pub mod storesim;
+pub mod trace_cmd;
 
 pub use scale::Scale;

@@ -25,7 +25,9 @@ use peerstripe_repair::{
     OutageAwareConfig, RepairConfig, RepairPolicy, SessionModel,
 };
 use peerstripe_sim::{ByteSize, DetRng, SimTime};
+use peerstripe_telemetry::{MetricsRegistry, RegistryExport, RunManifest};
 use peerstripe_trace::{SessionTrace, TraceConfig};
+use serde::Serialize;
 
 /// Configuration of the placement sweep.
 #[derive(Debug, Clone)]
@@ -200,9 +202,30 @@ pub struct PlacementSweep {
     pub sim_hours: f64,
     /// The per-domain block cap domain-aware strategies enforced.
     pub domain_cap: usize,
+    /// The effective configuration, emitted as the header of the JSON export.
+    pub manifest: RunManifest,
+    /// Every cell's maintenance counters on the shared telemetry registry:
+    /// main-axis cells labelled by `strategy`/`group_size`/`interval_h`,
+    /// detector-axis cells by `detector`/`topology`.
+    pub registry: MetricsRegistry,
 }
 
 impl PlacementSweep {
+    /// JSON export: the [`RunManifest`] header followed by the labelled
+    /// metrics-registry contents.
+    pub fn render_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Export {
+            manifest: RunManifest,
+            metrics: RegistryExport,
+        }
+        serde_json::to_string(&Export {
+            manifest: self.manifest.clone(),
+            metrics: self.registry.export(),
+        })
+        .unwrap_or_default()
+    }
+
     /// Matched `(oblivious, domain-spread)` row index pairs at the same group
     /// size and outage rate.
     pub fn matched_pairs(&self) -> Vec<(usize, usize)> {
@@ -310,6 +333,7 @@ fn measure_spread(manifests: &ManifestStore, cap: usize) -> SpreadReport {
 fn run_detector_axis(
     config: &PlacementSweepConfig,
     trace: &peerstripe_trace::Trace,
+    registry: &mut MetricsRegistry,
 ) -> Vec<DetectorSweepRow> {
     if config.detector_thetas.is_empty() {
         return Vec::new();
@@ -398,6 +422,13 @@ fn run_detector_axis(
             );
             engine.run_for(SimTime::from_secs_f64(config.sim_hours * 3_600.0));
             let report = engine.report();
+            let cell = [
+                ("detector".to_string(), report.detector.clone()),
+                ("topology".to_string(), label.clone()),
+            ];
+            let labels: Vec<(&str, &str)> =
+                cell.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            engine.metrics().fill_registry(registry, &labels);
             rows.push(DetectorSweepRow {
                 detector: report.detector.clone(),
                 topology: label.clone(),
@@ -427,6 +458,43 @@ pub fn run_placement_sweep(config: &PlacementSweepConfig) -> PlacementSweep {
     let trace = TraceConfig::scaled(config.files).generate(config.seed ^ 0xd0a7);
     let mut rows = Vec::new();
     let mut useful_bytes = ByteSize::ZERO;
+    let mut manifest = RunManifest::new(
+        "placement-sweep",
+        config.seed,
+        &format!("{} nodes", config.nodes),
+    );
+    manifest.push("files", config.files.to_string());
+    manifest.push("sim_hours", format!("{}", config.sim_hours));
+    {
+        // The effective repair/detector configuration every cell runs with;
+        // only the grouped-churn topology axis varies below.
+        let representative = RepairConfig {
+            policy: RepairPolicy::Eager,
+            detector: DetectorConfig::default_desktop_grid()
+                .with_timeout(config.timeout_hours * 3_600.0),
+            detection: DetectionKind::PerNodeTimeout,
+            bandwidth: BandwidthBudget::symmetric(config.bandwidth),
+            sample_period_secs: 1_800.0,
+        };
+        manifest.extend(representative.manifest_entries());
+    }
+    let strategies: Vec<&str> = config.strategies.iter().map(|k| k.label()).collect();
+    manifest.push("sweep.strategies", strategies.join(","));
+    let group_sizes: Vec<String> = config.group_sizes.iter().map(|g| g.to_string()).collect();
+    manifest.push("sweep.group_sizes", group_sizes.join(","));
+    let intervals: Vec<String> = config
+        .outage_interval_hours
+        .iter()
+        .map(|h| format!("{h}"))
+        .collect();
+    manifest.push("sweep.outage_interval_hours", intervals.join(","));
+    let thetas: Vec<String> = config
+        .detector_thetas
+        .iter()
+        .map(|t| format!("{t}"))
+        .collect();
+    manifest.push("sweep.detector_thetas", thetas.join(","));
+    let mut registry = MetricsRegistry::new();
 
     for &group_size in &config.group_sizes {
         let topology = Topology::uniform_groups(config.nodes, group_size);
@@ -484,6 +552,14 @@ pub fn run_placement_sweep(config: &PlacementSweepConfig) -> PlacementSweep {
                 .with_placement(kind.build(config.seed), Some(topology.clone()));
                 engine.run_for(SimTime::from_secs_f64(config.sim_hours * 3_600.0));
                 let report = engine.report();
+                let cell = [
+                    ("strategy".to_string(), kind.label().to_string()),
+                    ("group_size".to_string(), group_size.to_string()),
+                    ("interval_h".to_string(), format!("{interval_hours}")),
+                ];
+                let labels: Vec<(&str, &str)> =
+                    cell.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                engine.metrics().fill_registry(&mut registry, &labels);
                 rows.push(PlacementSweepRow {
                     strategy: kind,
                     group_size,
@@ -517,11 +593,13 @@ pub fn run_placement_sweep(config: &PlacementSweepConfig) -> PlacementSweep {
     });
     PlacementSweep {
         rows,
-        detector_rows: run_detector_axis(config, &trace),
+        detector_rows: run_detector_axis(config, &trace, &mut registry),
         nodes: config.nodes,
         useful_bytes,
         sim_hours: config.sim_hours,
         domain_cap: cap,
+        manifest,
+        registry,
     }
 }
 
@@ -602,6 +680,57 @@ mod tests {
             assert_eq!(ra.wasted_repair_bytes, rb.wasted_repair_bytes);
             assert_eq!(ra.files_lost, rb.files_lost);
         }
+        assert_eq!(a.registry.export(), b.registry.export());
+        assert_eq!(a.render_json(), b.render_json());
+    }
+
+    #[test]
+    fn registry_carries_both_axes_and_balances_with_rows() {
+        let mut config = small_config();
+        config.detector_thetas = vec![0.5];
+        let sweep = run_placement_sweep(&config);
+        for row in &sweep.rows {
+            let (group, interval) = (
+                row.group_size.to_string(),
+                format!("{}", row.outage_interval_hours),
+            );
+            let labels: [(&str, &str); 3] = [
+                ("strategy", row.strategy.label()),
+                ("group_size", group.as_str()),
+                ("interval_h", interval.as_str()),
+            ];
+            assert_eq!(
+                sweep
+                    .registry
+                    .find_counter("maintenance_files_lost_total", &labels),
+                Some(row.files_lost),
+                "{labels:?}"
+            );
+            assert_eq!(
+                sweep
+                    .registry
+                    .find_counter("maintenance_group_outages_total", &labels),
+                Some(row.group_outages),
+                "{labels:?}"
+            );
+        }
+        for row in &sweep.detector_rows {
+            let labels: [(&str, &str); 2] = [
+                ("detector", row.detector.as_str()),
+                ("topology", row.topology.as_str()),
+            ];
+            assert_eq!(
+                sweep
+                    .registry
+                    .find_counter("maintenance_wasted_repair_bytes_total", &labels),
+                Some(row.wasted_repair_bytes.as_u64()),
+                "{labels:?}"
+            );
+        }
+        let json = sweep.render_json();
+        assert!(json.starts_with("{\"manifest\""), "{}", &json[..40]);
+        assert_eq!(sweep.manifest.get("repair.policy"), Some("eager"));
+        assert!(sweep.manifest.get("sweep.strategies").is_some());
     }
 
     #[test]

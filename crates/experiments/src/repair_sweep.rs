@@ -19,7 +19,9 @@ use peerstripe_repair::{
     RepairPolicy, SessionModel,
 };
 use peerstripe_sim::{ByteSize, DetRng, SimTime};
+use peerstripe_telemetry::{MetricsRegistry, RegistryExport, RunManifest};
 use peerstripe_trace::TraceConfig;
+use serde::Serialize;
 
 /// Configuration of the repair sweep.
 #[derive(Debug, Clone)]
@@ -130,9 +132,29 @@ pub struct RepairSweep {
     pub useful_bytes: ByteSize,
     /// Virtual hours simulated per configuration.
     pub sim_hours: f64,
+    /// The effective configuration, emitted as the header of the JSON export.
+    pub manifest: RunManifest,
+    /// Every cell's maintenance counters on the shared telemetry registry,
+    /// labelled by `policy`/`timeout_h`/`bandwidth`.
+    pub registry: MetricsRegistry,
 }
 
 impl RepairSweep {
+    /// JSON export: the [`RunManifest`] header followed by the labelled
+    /// metrics-registry contents.
+    pub fn render_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Export {
+            manifest: RunManifest,
+            metrics: RegistryExport,
+        }
+        serde_json::to_string(&Export {
+            manifest: self.manifest.clone(),
+            metrics: self.registry.export(),
+        })
+        .unwrap_or_default()
+    }
+
     /// Matched eager/lazy pairs at the same timeout and bandwidth:
     /// `(eager, lazy)` row index pairs.
     pub fn matched_pairs(&self) -> Vec<(usize, usize)> {
@@ -194,6 +216,46 @@ pub fn run_repair_sweep(config: &RepairSweepConfig) -> RepairSweep {
     };
     let horizon = SimTime::from_secs_f64(config.sim_hours * 3_600.0);
 
+    let mut manifest = RunManifest::new(
+        "repair-sweep",
+        config.seed,
+        &format!("{} nodes", config.nodes),
+    );
+    manifest.push("files", config.files.to_string());
+    manifest.push("sim_hours", format!("{}", config.sim_hours));
+    if let (Some(&policy), Some(&timeout_hours), Some(&bandwidth)) = (
+        config.policies.first(),
+        config.timeouts_hours.first(),
+        config.bandwidths.first(),
+    ) {
+        // The first cell's effective repair/detector configuration; the swept
+        // axes below say how the other cells differ.
+        let representative = RepairConfig {
+            policy,
+            detector: DetectorConfig::default_desktop_grid().with_timeout(timeout_hours * 3_600.0),
+            detection: DetectionKind::PerNodeTimeout,
+            bandwidth: BandwidthBudget::symmetric(bandwidth),
+            sample_period_secs: 3_600.0,
+        };
+        manifest.extend(representative.manifest_entries());
+    }
+    manifest.extend(churn.manifest_entries());
+    let policies: Vec<String> = config.policies.iter().map(|p| p.label()).collect();
+    manifest.push("sweep.policies", policies.join(","));
+    let timeouts: Vec<String> = config
+        .timeouts_hours
+        .iter()
+        .map(|t| format!("{t}"))
+        .collect();
+    manifest.push("sweep.timeouts_hours", timeouts.join(","));
+    let bandwidths: Vec<String> = config
+        .bandwidths
+        .iter()
+        .map(|b| b.as_u64().to_string())
+        .collect();
+    manifest.push("sweep.bandwidths", bandwidths.join(","));
+    let mut registry = MetricsRegistry::new();
+
     let mut rows = Vec::new();
     for &bandwidth in &config.bandwidths {
         for &timeout_hours in &config.timeouts_hours {
@@ -214,6 +276,14 @@ pub fn run_repair_sweep(config: &RepairSweepConfig) -> RepairSweep {
                     config.seed,
                 );
                 engine.run_for(horizon);
+                let cell = [
+                    ("policy".to_string(), policy.label()),
+                    ("timeout_h".to_string(), format!("{timeout_hours}")),
+                    ("bandwidth".to_string(), bandwidth.as_u64().to_string()),
+                ];
+                let labels: Vec<(&str, &str)> =
+                    cell.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                engine.metrics().fill_registry(&mut registry, &labels);
                 let report = engine.report();
                 rows.push(RepairSweepRow {
                     policy,
@@ -237,6 +307,8 @@ pub fn run_repair_sweep(config: &RepairSweepConfig) -> RepairSweep {
         files_total: deployed.file_count() as u64,
         useful_bytes: deployed.tracked_bytes(),
         sim_hours: config.sim_hours,
+        manifest,
+        registry,
     }
 }
 
@@ -297,5 +369,56 @@ mod tests {
             assert_eq!(ra.events, rb.events);
             assert_eq!(ra.false_declarations, rb.false_declarations);
         }
+        assert_eq!(a.registry.export(), b.registry.export());
+        assert_eq!(a.render_json(), b.render_json());
+    }
+
+    #[test]
+    fn registry_balances_with_rows_and_manifest_leads_the_json() {
+        let sweep = run_repair_sweep(&small_config());
+        // Every cell's labelled registry counters must balance the row's
+        // bespoke accounting exactly — the port, not a reimplementation.
+        for row in &sweep.rows {
+            let (timeout, bandwidth) = (
+                format!("{}", row.timeout_hours),
+                row.bandwidth.as_u64().to_string(),
+            );
+            let policy = row.policy.label();
+            let labels: [(&str, &str); 3] = [
+                ("policy", policy.as_str()),
+                ("timeout_h", timeout.as_str()),
+                ("bandwidth", bandwidth.as_str()),
+            ];
+            assert_eq!(
+                sweep
+                    .registry
+                    .find_counter("maintenance_files_lost_total", &labels),
+                Some(row.files_lost),
+                "{labels:?}"
+            );
+            assert_eq!(
+                sweep
+                    .registry
+                    .find_counter("maintenance_repair_bytes_total", &labels),
+                Some(row.repair_bytes.as_u64()),
+                "{labels:?}"
+            );
+            assert_eq!(
+                sweep
+                    .registry
+                    .find_counter("maintenance_false_declarations_total", &labels),
+                Some(row.false_declarations),
+                "{labels:?}"
+            );
+        }
+        // The manifest header leads the JSON export and names the swept axes.
+        let json = sweep.render_json();
+        assert!(json.starts_with("{\"manifest\""), "{}", &json[..40]);
+        assert_eq!(
+            sweep.manifest.get("sweep.policies"),
+            Some("eager,lazy(k=2),lazy(k=0)")
+        );
+        assert_eq!(sweep.manifest.get("repair.policy"), Some("eager"));
+        assert!(sweep.manifest.get("churn.sessions").is_some());
     }
 }

@@ -49,6 +49,7 @@ const SIM_FACING_CRATES: &[&str] = &[
     "peerstripe-gridsim",
     "peerstripe-baselines",
     "peerstripe-trace",
+    "peerstripe-telemetry",
 ];
 
 /// Files allowed to read the host clock: encode/decode throughput measurement
@@ -59,6 +60,7 @@ const WALL_CLOCK_EXEMPT: &[&str] = &[
     "crates/erasure/src/measure.rs",
     "crates/experiments/src/coding.rs",
     "crates/experiments/src/bench_snapshot.rs",
+    "crates/telemetry/src/profile.rs",
 ];
 
 /// Options for a lint run.

@@ -42,9 +42,15 @@ impl LayerPolicy {
 pub fn builtin_policy() -> LayerPolicy {
     LayerPolicy::new("peerstripe-")
         .allow("peerstripe-sim", &[])
+        // Telemetry sits below every sim crate: anything sim-facing may use
+        // it, and it depends only on the vendored serde.
+        .allow("peerstripe-telemetry", &[])
         .allow("peerstripe-trace", &["peerstripe-sim"])
         .allow("peerstripe-overlay", &["peerstripe-sim"])
-        .allow("peerstripe-erasure", &["peerstripe-sim"])
+        .allow(
+            "peerstripe-erasure",
+            &["peerstripe-sim", "peerstripe-telemetry"],
+        )
         .allow("peerstripe-lint", &[])
         .allow(
             "peerstripe-multicast",
@@ -62,6 +68,7 @@ pub fn builtin_policy() -> LayerPolicy {
                 "peerstripe-erasure",
                 "peerstripe-trace",
                 "peerstripe-placement",
+                "peerstripe-telemetry",
             ],
         )
         .allow(
@@ -73,6 +80,7 @@ pub fn builtin_policy() -> LayerPolicy {
                 "peerstripe-trace",
                 "peerstripe-placement",
                 "peerstripe-core",
+                "peerstripe-telemetry",
             ],
         )
         .allow(
@@ -102,6 +110,7 @@ pub fn builtin_policy() -> LayerPolicy {
                 "peerstripe-baselines",
                 "peerstripe-gridsim",
                 "peerstripe-lint",
+                "peerstripe-telemetry",
             ],
         )
         .allow(
@@ -118,6 +127,7 @@ pub fn builtin_policy() -> LayerPolicy {
                 "peerstripe-baselines",
                 "peerstripe-gridsim",
                 "peerstripe-experiments",
+                "peerstripe-telemetry",
             ],
         )
         // The facade re-exports everything below it by design.
@@ -136,6 +146,7 @@ pub fn builtin_policy() -> LayerPolicy {
                 "peerstripe-gridsim",
                 "peerstripe-experiments",
                 "peerstripe-lint",
+                "peerstripe-telemetry",
             ],
         )
 }

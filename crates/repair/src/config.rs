@@ -116,6 +116,40 @@ impl ChurnProcess {
         self.grouped = Some(grouped);
         self
     }
+
+    /// Flattened `key = value` entries for a
+    /// [`peerstripe_telemetry::RunManifest`].
+    pub fn manifest_entries(&self) -> Vec<(String, String)> {
+        let mut entries = vec![(
+            "churn.sessions".to_string(),
+            match &self.sessions {
+                SessionModel::Synthetic {
+                    mean_session_secs,
+                    mean_downtime_secs,
+                } => format!("synthetic(up={mean_session_secs}s,down={mean_downtime_secs}s)"),
+                SessionModel::Trace(_) => "trace".to_string(),
+            },
+        )];
+        entries.push((
+            "churn.permanent_fraction".to_string(),
+            format!("{}", self.permanent_fraction),
+        ));
+        if let Some(grouped) = &self.grouped {
+            entries.push((
+                "churn.grouped.domains".to_string(),
+                grouped.topology.domain_count().to_string(),
+            ));
+            entries.push((
+                "churn.grouped.mean_outage_interval_secs".to_string(),
+                format!("{}", grouped.mean_outage_interval_secs),
+            ));
+            entries.push((
+                "churn.grouped.mean_outage_downtime_secs".to_string(),
+                format!("{}", grouped.mean_outage_downtime_secs),
+            ));
+        }
+        entries
+    }
 }
 
 /// When regeneration is triggered for a damaged chunk.
@@ -211,6 +245,29 @@ impl DetectorConfig {
     pub fn retry_period_secs(&self) -> f64 {
         self.probe_period_secs.max(self.retry_floor_secs)
     }
+
+    /// Flattened `key = value` entries for a
+    /// [`peerstripe_telemetry::RunManifest`].
+    pub fn manifest_entries(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "detector.probe_period_secs".to_string(),
+                format!("{}", self.probe_period_secs),
+            ),
+            (
+                "detector.detection_lag_secs".to_string(),
+                format!("{}", self.detection_lag_secs),
+            ),
+            (
+                "detector.permanence_timeout_secs".to_string(),
+                format!("{}", self.permanence_timeout_secs),
+            ),
+            (
+                "detector.retry_floor_secs".to_string(),
+                format!("{}", self.retry_floor_secs),
+            ),
+        ]
+    }
 }
 
 /// Per-node repair bandwidth budgets.
@@ -271,6 +328,30 @@ impl RepairConfig {
     pub fn with_detection(mut self, detection: DetectionKind) -> Self {
         self.detection = detection;
         self
+    }
+
+    /// The effective configuration, flattened for a
+    /// [`peerstripe_telemetry::RunManifest`] — the header record that makes
+    /// every trace and sweep JSON self-describing.
+    pub fn manifest_entries(&self) -> Vec<(String, String)> {
+        let mut entries = vec![
+            ("repair.policy".to_string(), self.policy.label()),
+            ("repair.detection".to_string(), self.detection.label()),
+            (
+                "repair.bandwidth_up_bytes_per_sec".to_string(),
+                self.bandwidth.upload.as_u64().to_string(),
+            ),
+            (
+                "repair.bandwidth_down_bytes_per_sec".to_string(),
+                self.bandwidth.download.as_u64().to_string(),
+            ),
+            (
+                "repair.sample_period_secs".to_string(),
+                format!("{}", self.sample_period_secs),
+            ),
+        ];
+        entries.extend(self.detector.manifest_entries());
+        entries
     }
 }
 

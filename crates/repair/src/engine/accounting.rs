@@ -20,7 +20,8 @@
 
 use super::core::MaintenanceEngine;
 use peerstripe_overlay::NodeRef;
-use peerstripe_sim::ByteSize;
+use peerstripe_sim::{ByteSize, SimTime};
+use peerstripe_telemetry::TraceRecord;
 use std::collections::VecDeque;
 
 /// Attribution of regenerated blocks to the declarations that caused them.
@@ -173,8 +174,12 @@ impl MaintenanceEngine {
     }
 
     /// `chunk` fell below its decode threshold with its lost blocks written
-    /// off: the data is gone for good.
-    pub(super) fn write_off(&mut self, chunk: u32) {
+    /// off: the data is gone for good.  `cause` is the declared node whose
+    /// write-off pushed the chunk under — every chunk loss is caused by a
+    /// declaration (this is only called from the declare path), which is what
+    /// lets `repro trace-summary` attribute each lost file to a concrete
+    /// declaration and, transitively, to the outage that provoked it.
+    pub(super) fn write_off(&mut self, now: SimTime, chunk: u32, cause: NodeRef) {
         if self.ledger.is_lost(chunk) {
             return;
         }
@@ -182,10 +187,33 @@ impl MaintenanceEngine {
         self.writeoffs.chunk_lost(chunk);
         let fi = self.ledger.file_of(chunk) as usize;
         self.file_lost_chunks[fi] += 1;
-        self.metrics.record_loss(
-            self.ledger.chunk_size(chunk),
-            self.file_lost_chunks[fi] == 1,
-        );
+        let file_newly_lost = self.file_lost_chunks[fi] == 1;
+        self.metrics
+            .record_loss(self.ledger.chunk_size(chunk), file_newly_lost);
+        if self.tracing() {
+            let file = self.ledger.file_of(chunk);
+            let outage = self.down_outage.get(cause).copied().flatten();
+            self.trace(
+                now,
+                TraceRecord::ChunkLost {
+                    chunk,
+                    file,
+                    cause_node: cause,
+                    outage,
+                },
+            );
+            if file_newly_lost {
+                self.trace(
+                    now,
+                    TraceRecord::FileLost {
+                        file,
+                        chunk,
+                        cause_node: cause,
+                        outage,
+                    },
+                );
+            }
+        }
         // A lost chunk is unavailable forever; freeze it into the availability
         // accounting (it was already below threshold — losing placed blocks
         // implies losing live ones — so nothing to transition here).

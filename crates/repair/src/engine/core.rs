@@ -11,6 +11,10 @@ use peerstripe_overlay::NodeRef;
 use peerstripe_placement::{DomainView, OverlayRandom, PlacementStrategy, RepairRequest, Topology};
 use peerstripe_sim::dist::{Distribution, Exponential};
 use peerstripe_sim::{ByteSize, DetRng, EventQueue, SimTime};
+use peerstripe_telemetry::{
+    CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, NullTracer, Phase, PhaseProfiler,
+    TraceEvent, TraceOutput, TraceRecord, Tracer,
+};
 
 /// Aggregate outcome of a maintenance run.
 #[derive(Debug, Clone)]
@@ -72,6 +76,61 @@ impl MaintenanceReport {
     }
 }
 
+/// Handles into the engine's live [`MetricsRegistry`]: registered once at
+/// construction, so hot-path updates are array writes.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct EngineCounters {
+    /// `engine_events_total` — every event the dispatcher handles.
+    pub(super) events: CounterHandle,
+    /// `engine_declaration_verdicts_total{verdict=declare|hold|cancel}`.
+    pub(super) verdict_declare: CounterHandle,
+    pub(super) verdict_hold: CounterHandle,
+    pub(super) verdict_cancel: CounterHandle,
+    /// `engine_repair_traffic_bytes` — per completed repair.
+    pub(super) repair_traffic: HistogramHandle,
+    /// `engine_declaration_wait_secs` — down-period length at declaration.
+    pub(super) declaration_wait: HistogramHandle,
+    /// `engine_files_unavailable` — refreshed at every sample.
+    pub(super) files_unavailable: GaugeHandle,
+}
+
+impl EngineCounters {
+    fn new(registry: &mut MetricsRegistry) -> Self {
+        const HOUR: f64 = 3_600.0;
+        EngineCounters {
+            events: registry.counter("engine_events_total", &[]),
+            verdict_declare: registry.counter(
+                "engine_declaration_verdicts_total",
+                &[("verdict", "declare")],
+            ),
+            verdict_hold: registry
+                .counter("engine_declaration_verdicts_total", &[("verdict", "hold")]),
+            verdict_cancel: registry.counter(
+                "engine_declaration_verdicts_total",
+                &[("verdict", "cancel")],
+            ),
+            repair_traffic: registry.histogram(
+                "engine_repair_traffic_bytes",
+                &[],
+                &[1e6, 4e6, 16e6, 64e6, 256e6, 1e9],
+            ),
+            declaration_wait: registry.histogram(
+                "engine_declaration_wait_secs",
+                &[],
+                &[
+                    HOUR,
+                    4.0 * HOUR,
+                    12.0 * HOUR,
+                    24.0 * HOUR,
+                    48.0 * HOUR,
+                    168.0 * HOUR,
+                ],
+            ),
+            files_unavailable: registry.gauge("engine_files_unavailable", &[]),
+        }
+    }
+}
+
 /// The event-driven churn & repair engine.
 pub struct MaintenanceEngine {
     pub(super) cluster: StorageCluster,
@@ -109,6 +168,18 @@ pub struct MaintenanceEngine {
     pub(super) writeoffs: WriteOffAccounting,
     pub(super) metrics: MaintenanceMetrics,
     pub(super) horizon: SimTime,
+    // Telemetry: structured trace sink, live registry, per-phase profiler.
+    pub(super) tracer: Box<dyn Tracer>,
+    pub(super) registry: MetricsRegistry,
+    pub(super) counters: EngineCounters,
+    pub(super) profiler: PhaseProfiler,
+    /// Per node: the outage id of the group outage that took it down, `None`
+    /// for individual departures — links declarations (and the losses they
+    /// cause) back to their causal outage in the trace.
+    pub(super) down_outage: Vec<Option<u64>>,
+    /// Per group: the id of its current (or most recent) outage.
+    pub(super) group_outage_id: Vec<u64>,
+    pub(super) next_outage_id: u64,
 }
 
 impl MaintenanceEngine {
@@ -159,6 +230,8 @@ impl MaintenanceEngine {
             .as_ref()
             .map(|t| t.domain_view())
             .unwrap_or_else(DomainView::unaffiliated);
+        let mut registry = MetricsRegistry::new();
+        let counters = EngineCounters::new(&mut registry);
         let mut engine = MaintenanceEngine {
             detector: config.detection.build(nodes, config.detector, view),
             scheduler: RepairScheduler::new(nodes, config.bandwidth, config.policy),
@@ -180,6 +253,13 @@ impl MaintenanceEngine {
             writeoffs: WriteOffAccounting::new(chunks, nodes),
             metrics: MaintenanceMetrics::new(),
             horizon: SimTime::ZERO,
+            tracer: Box::new(NullTracer),
+            registry,
+            counters,
+            profiler: PhaseProfiler::new(false),
+            down_outage: vec![None; nodes],
+            group_outage_id: vec![0; group_count],
+            next_outage_id: 0,
             cluster,
             ledger,
             churn,
@@ -248,18 +328,80 @@ impl MaintenanceEngine {
         self
     }
 
+    /// Route trace records into an explicit [`Tracer`] backend.  The default
+    /// is [`NullTracer`]; tracing never changes simulation results, only what
+    /// is observed about them.
+    pub fn with_tracer(mut self, tracer: Box<dyn Tracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Enable (or disable) per-phase wall-clock profiling.  Wall time never
+    /// feeds simulation state; a disabled profiler costs one branch per scope.
+    pub fn with_profiling(mut self, enabled: bool) -> Self {
+        self.profiler = PhaseProfiler::new(enabled);
+        self
+    }
+
+    /// Take the accumulated trace, swapping a [`NullTracer`] back in.
+    pub fn finish_trace(&mut self) -> TraceOutput {
+        std::mem::replace(&mut self.tracer, Box::new(NullTracer)).finish()
+    }
+
+    /// Whether trace records are being collected — emission sites check this
+    /// before constructing a record, so the null backend pays nothing.
+    #[inline]
+    pub(super) fn tracing(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Stamp and emit one trace record at sim time `now`.
+    pub(super) fn trace(&mut self, now: SimTime, record: TraceRecord) {
+        self.tracer.record(TraceEvent {
+            t_ns: now.as_nanos(),
+            record,
+        });
+    }
+
     /// Advance the simulation by `duration` of virtual time.
     pub fn run_for(&mut self, duration: SimTime) {
         self.horizon += duration;
         let deadline = self.horizon;
         let mut queue = std::mem::take(&mut self.queue);
-        queue.run_until(deadline, |q, now, event| self.handle(q, now, event));
+        queue.run_until(deadline, |q, now, event| {
+            let token = self.profiler.begin();
+            self.handle(q, now, event);
+            self.profiler.end(Phase::EventDispatch, token);
+        });
         self.queue = queue;
     }
 
     /// The metrics accumulated so far.
     pub fn metrics(&self) -> &MaintenanceMetrics {
         &self.metrics
+    }
+
+    /// The live hot-path metrics registry (event/verdict counters, repair
+    /// traffic and declaration-wait histograms).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The per-phase wall-clock profiler.
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.profiler
+    }
+
+    /// One registry combining the live hot-path metrics, the aggregate
+    /// [`MaintenanceMetrics`] counters, and (when profiling is on) the
+    /// per-phase timing gauges.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut registry = self.registry.clone();
+        self.metrics.fill_registry(&mut registry, &[]);
+        if self.profiler.is_enabled() {
+            self.profiler.fill_registry(&mut registry);
+        }
+        registry
     }
 
     /// The block ledger (current placements and losses).
@@ -391,20 +533,47 @@ impl MaintenanceEngine {
             holders: &holders,
             domain_cap,
         };
+        let token = self.profiler.begin();
         let targets = self.placement.repair_targets(
             &self.cluster,
             self.topology.as_ref(),
             &request,
             &mut self.rng,
         );
+        self.profiler.end(Phase::Placement, token);
+        if self.tracing() {
+            let strategy = self.placement.name().to_string();
+            self.trace(
+                now,
+                TraceRecord::PlacementDecision {
+                    chunk,
+                    strategy,
+                    want,
+                    got: targets.len(),
+                },
+            );
+        }
         if targets.is_empty() {
             self.schedule_retry(q, chunk);
             return;
         }
+        let token = self.profiler.begin();
         let plan = self
             .scheduler
             .schedule(chunk, size, &sources, &targets, now);
+        self.profiler.end(Phase::Scheduler, token);
         self.in_flight[ci] += plan.placements.len() as u32;
+        if self.tracing() {
+            self.trace(
+                now,
+                TraceRecord::RepairScheduled {
+                    chunk,
+                    blocks: plan.placements.len(),
+                    traffic: plan.traffic.as_u64(),
+                    done_at_ns: plan.done_at.as_nanos(),
+                },
+            );
+        }
         q.schedule_at(
             plan.done_at,
             MaintenanceEvent::RepairDone {

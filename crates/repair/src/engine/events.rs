@@ -7,6 +7,7 @@ use crate::detection::DeclarationVerdict;
 use peerstripe_overlay::NodeRef;
 use peerstripe_sim::dist::{Distribution, Exponential};
 use peerstripe_sim::{ByteSize, EventQueue, SimTime};
+use peerstripe_telemetry::{Phase, TraceRecord};
 
 /// Events the maintenance engine processes.
 #[derive(Debug, Clone)]
@@ -74,6 +75,7 @@ impl MaintenanceEngine {
         now: SimTime,
         event: MaintenanceEvent,
     ) {
+        self.registry.inc(self.counters.events, 1);
         match event {
             MaintenanceEvent::Depart { node, session } => {
                 if session == self.session_gen[node] {
@@ -128,6 +130,20 @@ impl MaintenanceEngine {
         for chunk in self.ledger.chunks_on(node).to_vec() {
             self.chunk_block_down(chunk);
         }
+        self.down_outage[node] = None;
+        if self.tracing() {
+            let domain = self.topology.as_ref().and_then(|t| t.domain_of(node));
+            let permanent = self.permanent[node];
+            self.trace(
+                now,
+                TraceRecord::NodeDown {
+                    node,
+                    domain,
+                    outage: None,
+                    permanent,
+                },
+            );
+        }
         let pending = self.detector.node_down(node, now);
         q.schedule_at(
             pending.declare_at,
@@ -148,6 +164,9 @@ impl MaintenanceEngine {
         };
         let members = grouped.topology.members(group).to_vec();
         let downtime_rate = 1.0 / grouped.mean_outage_downtime_secs;
+        let outage = self.next_outage_id;
+        self.next_outage_id += 1;
+        self.group_outage_id[group as usize] = outage;
         let mut taken = Vec::new();
         for node in members {
             if !self.cluster.overlay().is_alive(node) {
@@ -155,6 +174,7 @@ impl MaintenanceEngine {
             }
             self.session_gen[node] += 1;
             self.cluster.fail_node(node);
+            self.down_outage[node] = Some(outage);
             self.metrics.group_departures += 1;
             for chunk in self.ledger.chunks_on(node).to_vec() {
                 self.chunk_block_down(chunk);
@@ -174,6 +194,27 @@ impl MaintenanceEngine {
             taken.push(node);
         }
         self.metrics.group_outages += 1;
+        if self.tracing() {
+            self.trace(
+                now,
+                TraceRecord::OutageStart {
+                    outage,
+                    group,
+                    members: taken.len(),
+                },
+            );
+            for &node in &taken {
+                self.trace(
+                    now,
+                    TraceRecord::NodeDown {
+                        node,
+                        domain: Some(group),
+                        outage: Some(outage),
+                        permanent: false,
+                    },
+                );
+            }
+        }
         let downtime = Exponential::new(downtime_rate).sample(&mut self.grouped_rng);
         let until = now + SimTime::from_secs_f64(downtime);
         self.group_down_until[group as usize] = until;
@@ -197,6 +238,14 @@ impl MaintenanceEngine {
         members: Vec<NodeRef>,
     ) {
         self.group_down_until[group as usize] = now;
+        if self.tracing() {
+            let outage = self
+                .group_outage_id
+                .get(group as usize)
+                .copied()
+                .unwrap_or(0);
+            self.trace(now, TraceRecord::OutageEnd { outage, group });
+        }
         for node in members {
             self.return_node(q, now, node);
         }
@@ -239,6 +288,26 @@ impl MaintenanceEngine {
         }
         self.cluster.overlay_mut().rejoin(node);
         self.detector.node_up(node, now);
+        if self.tracing() {
+            let false_declaration = self.declared[node];
+            self.trace(
+                now,
+                TraceRecord::NodeReturn {
+                    node,
+                    false_declaration,
+                },
+            );
+            if self.hold_active[node] {
+                self.trace(
+                    now,
+                    TraceRecord::HoldReleased {
+                        node,
+                        declared: false,
+                    },
+                );
+            }
+        }
+        self.down_outage[node] = None;
         if self.hold_active[node] {
             // A held declaration resolves by cancellation: the domain (or at
             // least this node) came back before the hold cap, the generation
@@ -296,10 +365,41 @@ impl MaintenanceEngine {
         node: NodeRef,
         generation: u64,
     ) {
-        match self.detector.decide(node, generation, now) {
-            DeclarationVerdict::Cancel => return,
+        let token = self.profiler.begin();
+        let verdict = self.detector.decide(node, generation, now);
+        self.profiler.end(Phase::DetectorDecide, token);
+        match verdict {
+            DeclarationVerdict::Cancel => {
+                self.registry.inc(self.counters.verdict_cancel, 1);
+                if self.tracing() {
+                    let outage = self.down_outage[node];
+                    self.trace(
+                        now,
+                        TraceRecord::DeclarationVerdict {
+                            node,
+                            generation,
+                            verdict: "cancel".to_string(),
+                            outage,
+                        },
+                    );
+                }
+                return;
+            }
             DeclarationVerdict::Hold { until } => {
                 debug_assert!(until > now, "holds must move forward");
+                self.registry.inc(self.counters.verdict_hold, 1);
+                if self.tracing() {
+                    let outage = self.down_outage[node];
+                    self.trace(
+                        now,
+                        TraceRecord::DeclarationVerdict {
+                            node,
+                            generation,
+                            verdict: "hold".to_string(),
+                            outage,
+                        },
+                    );
+                }
                 if !self.hold_active[node] {
                     self.hold_active[node] = true;
                     self.metrics.declarations_held += 1;
@@ -309,6 +409,32 @@ impl MaintenanceEngine {
             }
             DeclarationVerdict::Declare => {}
         }
+        self.registry.inc(self.counters.verdict_declare, 1);
+        if let Some(since) = self.detector.down_since(node) {
+            let wait = now.saturating_sub(since).as_secs_f64();
+            self.registry.observe(self.counters.declaration_wait, wait);
+        }
+        if self.tracing() {
+            let outage = self.down_outage[node];
+            self.trace(
+                now,
+                TraceRecord::DeclarationVerdict {
+                    node,
+                    generation,
+                    verdict: "declare".to_string(),
+                    outage,
+                },
+            );
+            if self.hold_active[node] {
+                self.trace(
+                    now,
+                    TraceRecord::HoldReleased {
+                        node,
+                        declared: true,
+                    },
+                );
+            }
+        }
         // A held declaration released past its cap (or an absence that
         // stopped looking correlated) is a declaration like any other.
         self.hold_active[node] = false;
@@ -317,8 +443,18 @@ impl MaintenanceEngine {
             for _ in 0..loss.lost.len() {
                 self.writeoffs.block_written_off(loss.chunk, node);
             }
+            if self.tracing() {
+                self.trace(
+                    now,
+                    TraceRecord::BlocksWrittenOff {
+                        chunk: loss.chunk,
+                        node,
+                        blocks: loss.lost.len(),
+                    },
+                );
+            }
             if loss.survivors < self.ledger.needed(loss.chunk) {
-                self.write_off(loss.chunk);
+                self.write_off(now, loss.chunk, node);
             } else {
                 self.maybe_repair(q, now, loss.chunk);
             }
@@ -341,6 +477,7 @@ impl MaintenanceEngine {
         // for the wasted-repair attribution.
         let share = ByteSize::bytes(traffic.as_u64() / blocks.max(1));
         let mut placed = 0u64;
+        let mut dropped = 0u64;
         if !self.ledger.is_lost(chunk) {
             for (node, size) in placements {
                 // The target must still be alive and still have the space it
@@ -358,13 +495,28 @@ impl MaintenanceEngine {
                     self.metrics.wasted_repair_bytes += wasted;
                 } else {
                     self.metrics.repairs_dropped += 1;
+                    dropped += 1;
                 }
             }
         } else {
             self.metrics.repairs_dropped += blocks;
+            dropped = blocks;
         }
         // The transfers happened whether or not every placement stuck.
         self.metrics.record_repair(traffic, placed);
+        self.registry
+            .observe(self.counters.repair_traffic, traffic.as_u64() as f64);
+        if self.tracing() {
+            self.trace(
+                now,
+                TraceRecord::RepairCompleted {
+                    chunk,
+                    placed,
+                    dropped,
+                    traffic: traffic.as_u64(),
+                },
+            );
+        }
         if !self.ledger.is_lost(chunk) {
             self.maybe_repair(q, now, chunk);
         }
@@ -381,6 +533,21 @@ impl MaintenanceEngine {
             },
             self.ledger.file_count() as u64,
         );
+        self.registry.set(
+            self.counters.files_unavailable,
+            self.files_unavailable as f64,
+        );
+        if self.tracing() {
+            self.trace(
+                now,
+                TraceRecord::Sample {
+                    files_unavailable: self.files_unavailable,
+                    files_lost: self.metrics.files_lost,
+                    repair_bytes: self.metrics.repair_bytes.as_u64(),
+                    repairs_in_flight: self.scheduler.in_flight(),
+                },
+            );
+        }
         q.schedule_after(self.sample_period, MaintenanceEvent::Sample);
     }
 }

@@ -1,0 +1,36 @@
+//! `peerstripe-telemetry` — the workspace's shared observability substrate.
+//!
+//! Every sim-facing crate may depend on this one; it depends only on the
+//! vendored serde.  Three pillars:
+//!
+//! * [`metrics`] — a deterministic [`MetricsRegistry`] of counters, gauges and
+//!   fixed-bucket histograms keyed by `(name, ordered label set)`.  Handles
+//!   are plain indices, so hot-path increments are an array write; the key map
+//!   is `BTreeMap`-backed so JSON exports are byte-stable across runs.
+//! * [`trace`] — sim-time structured event tracing.  Engines emit typed
+//!   [`TraceRecord`]s through a [`Tracer`]; [`NullTracer`] is the zero-cost
+//!   default (`enabled()` is `false`, so call sites skip record construction
+//!   entirely), [`JsonlTracer`] renders one JSON line per event, and
+//!   [`RingBufferTracer`] keeps a bounded tail for huge runs.
+//! * [`profile`] — per-phase wall-clock profiling.  The *only* module in the
+//!   sim-facing tree sanctioned to read the host clock (`repro lint` exempts
+//!   `crates/telemetry/src/profile.rs` the same way it exempts
+//!   `bench_snapshot`); everything else merely carries the opaque tokens it
+//!   hands out.
+//!
+//! Nothing in this crate touches simulation state: a registry, tracer or
+//! profiler can be bolted onto any engine without changing its results, and
+//! the determinism tests assert exactly that.
+
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::{
+    CounterHandle, GaugeHandle, Histogram, HistogramHandle, MetricsRegistry, RegistryExport,
+};
+pub use profile::{Phase, PhaseProfiler, ProfToken};
+pub use trace::{
+    JsonlTracer, NullTracer, RingBufferTracer, RunManifest, TraceEvent, TraceOutput, TraceRecord,
+    Tracer,
+};

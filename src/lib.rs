@@ -17,6 +17,7 @@
 //! * [`baselines`](peerstripe_baselines) — PAST and CFS comparison systems;
 //! * [`gridsim`](peerstripe_gridsim) — the Condor `bigCopy` case study;
 //! * [`experiments`](peerstripe_experiments) — drivers for every table/figure;
+//! * [`telemetry`](peerstripe_telemetry) — metrics registry, event tracing, profiling;
 //! * [`sim`](peerstripe_sim) — deterministic RNG, distributions, statistics.
 //!
 //! ## Quick start
@@ -47,4 +48,5 @@ pub use peerstripe_overlay as overlay;
 pub use peerstripe_placement as placement;
 pub use peerstripe_repair as repair;
 pub use peerstripe_sim as sim;
+pub use peerstripe_telemetry as telemetry;
 pub use peerstripe_trace as trace;

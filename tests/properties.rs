@@ -759,3 +759,62 @@ proptest! {
         prop_assert!(engine.accounting_is_consistent(), "accounting must balance");
     }
 }
+
+// ---- telemetry ----------------------------------------------------------
+
+/// Build a histogram over the standard byte-size buckets from fuzzed samples.
+fn histogram_of(samples: &[f64]) -> peerstripe::telemetry::Histogram {
+    let mut h = peerstripe::telemetry::Histogram::new(&[1e2, 1e4, 1e6, 1e8]);
+    for &s in samples {
+        h.observe(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram merge is commutative and associative over same-bucket
+    /// histograms: sweep cells can be aggregated in any order (or grouping)
+    /// without changing the exported distribution.
+    #[test]
+    fn histogram_merge_is_order_free(
+        a in proptest::collection::vec(0.0f64..1e9, 0..64),
+        b in proptest::collection::vec(0.0f64..1e9, 0..64),
+        c in proptest::collection::vec(0.0f64..1e9, 0..64),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+
+        // Commutativity: a ∪ b == b ∪ a.
+        let mut ab = ha.clone();
+        prop_assert!(ab.merge(&hb).is_ok());
+        let mut ba = hb.clone();
+        prop_assert!(ba.merge(&ha).is_ok());
+        prop_assert_eq!(ab.bucket_counts(), ba.bucket_counts());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.sum() - ba.sum()).abs() <= 1e-6 * ab.sum().abs().max(1.0));
+
+        // Associativity: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        let mut left = ab;
+        prop_assert!(left.merge(&hc).is_ok());
+        let mut bc = hb.clone();
+        prop_assert!(bc.merge(&hc).is_ok());
+        let mut right = ha.clone();
+        prop_assert!(right.merge(&bc).is_ok());
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!((left.sum() - right.sum()).abs() <= 1e-6 * left.sum().abs().max(1.0));
+
+        // And the merged totals are exactly the sample counts.
+        prop_assert_eq!(left.count(), (a.len() + b.len() + c.len()) as u64);
+    }
+
+    /// Merging histograms with different bucket layouts must refuse rather
+    /// than silently mis-bin.
+    #[test]
+    fn histogram_merge_rejects_mismatched_buckets(samples in proptest::collection::vec(0.0f64..1e6, 1..16)) {
+        let mut h = histogram_of(&samples);
+        let other = peerstripe::telemetry::Histogram::new(&[1.0, 2.0]);
+        prop_assert!(h.merge(&other).is_err());
+    }
+}

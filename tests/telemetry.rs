@@ -1,0 +1,194 @@
+//! Telemetry acceptance tests: the trace layer must be deterministic, inert
+//! (attaching a tracer cannot perturb the simulation), and causally complete
+//! (every lost file traces to a concrete declaration and outage).
+//!
+//! The golden fixture under `tests/golden/` pins the exact JSONL byte stream
+//! of the `repair-mini` scenario at seed 42 — any change to event ordering,
+//! record encoding, or the manifest header shows up as a diff here before it
+//! silently invalidates archived traces.
+
+use peerstripe::core::{ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem};
+use peerstripe::experiments::trace_cmd::{self, TraceCmdConfig};
+use peerstripe::experiments::Scale;
+use peerstripe::repair::{
+    BandwidthBudget, ChurnProcess, DetectionKind, DetectorConfig, MaintenanceEngine, RepairConfig,
+    RepairPolicy, SessionModel,
+};
+use peerstripe::sim::{ByteSize, DetRng, SimTime};
+use peerstripe::telemetry::{JsonlTracer, NullTracer, Tracer};
+use peerstripe::trace::TraceConfig;
+
+fn trace_config(scenario: &str, seed: u64) -> TraceCmdConfig {
+    TraceCmdConfig {
+        scenario: scenario.to_string(),
+        scale: Scale::Small,
+        seed,
+        profile: false,
+    }
+}
+
+/// The committed golden trace: `repro trace --scenario repair-mini --seed 42`
+/// must reproduce it byte for byte. Regenerate deliberately (and review the
+/// diff) with:
+/// `repro trace --scenario repair-mini --seed 42 --out /tmp/t` then copy
+/// `trace_repair-mini_*_seed42.jsonl` over the fixture.
+#[test]
+fn repair_mini_seed42_matches_the_golden_trace() {
+    let golden = include_str!("golden/trace_repair_mini_seed42.jsonl");
+    let artifacts = trace_cmd::run_trace(&trace_config("repair-mini", 42)).expect("known scenario");
+    if artifacts.jsonl != golden {
+        for (no, (got, want)) in artifacts.jsonl.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(got, want, "trace diverged from golden at line {}", no + 1);
+        }
+        panic!(
+            "trace differs from golden in length: {} vs {} bytes",
+            artifacts.jsonl.len(),
+            golden.len()
+        );
+    }
+}
+
+/// Double-run gate for every named scenario: same seed → byte-identical
+/// trace, summary, and metrics export; different seed → different trace.
+#[test]
+fn trace_scenarios_are_seed_stable() {
+    for scenario in trace_cmd::SCENARIOS {
+        let first = trace_cmd::run_trace(&trace_config(scenario, 42)).expect("known scenario");
+        let second = trace_cmd::run_trace(&trace_config(scenario, 42)).expect("known scenario");
+        assert_eq!(
+            first.jsonl, second.jsonl,
+            "'{scenario}' trace differs between identical runs"
+        );
+        assert_eq!(
+            first.metrics_json, second.metrics_json,
+            "'{scenario}' metrics export differs between identical runs"
+        );
+        let other = trace_cmd::run_trace(&trace_config(scenario, 43)).expect("known scenario");
+        assert_ne!(
+            first.jsonl, other.jsonl,
+            "'{scenario}' trace ignores its seed"
+        );
+    }
+}
+
+/// A small but busy maintenance engine, identical across calls.
+fn engine_with(tracer: Box<dyn Tracer>) -> MaintenanceEngine {
+    let mut rng = DetRng::new(7);
+    let cluster = ClusterConfig::scaled(30).build(&mut rng);
+    let mut ps = PeerStripe::new(
+        cluster,
+        PeerStripeConfig::default().with_coding(CodingPolicy::online_default()),
+    );
+    for file in &TraceConfig::scaled(50).generate(7 ^ 0xc0de).files {
+        let _ = ps.store_file(file);
+    }
+    let manifests = ps.manifests().clone();
+    let churn = ChurnProcess {
+        sessions: SessionModel::Synthetic {
+            mean_session_secs: 6.0 * 3_600.0,
+            mean_downtime_secs: 3.0 * 3_600.0,
+        },
+        permanent_fraction: 0.05,
+        grouped: None,
+    };
+    let config = RepairConfig {
+        policy: RepairPolicy::Eager,
+        detector: DetectorConfig::default_desktop_grid().with_timeout(6.0 * 3_600.0),
+        detection: DetectionKind::PerNodeTimeout,
+        bandwidth: BandwidthBudget::symmetric(ByteSize::mb(4)),
+        sample_period_secs: 3_600.0,
+    };
+    let mut engine =
+        MaintenanceEngine::new(ps.into_cluster(), &manifests, churn, config, 7).with_tracer(tracer);
+    engine.run_for(SimTime::from_secs(12 * 3_600));
+    engine
+}
+
+/// Attaching a tracer must be pure observation: the engine's results are
+/// identical whether it runs under the free `NullTracer` or the recording
+/// `JsonlTracer`.
+#[test]
+fn tracer_choice_does_not_perturb_the_engine() {
+    let null_run = engine_with(Box::new(NullTracer));
+    let mut jsonl_run = engine_with(Box::new(JsonlTracer::new()));
+    let null_report = null_run.report();
+    let jsonl_report = jsonl_run.report();
+    assert_eq!(null_report.events, jsonl_report.events);
+    assert_eq!(null_report.files_lost, jsonl_report.files_lost);
+    assert_eq!(null_report.repair_bytes, jsonl_report.repair_bytes);
+    assert_eq!(
+        null_report.blocks_regenerated,
+        jsonl_report.blocks_regenerated
+    );
+    assert_eq!(
+        null_run.metrics_registry().render_json(),
+        jsonl_run.metrics_registry().render_json(),
+        "metrics registry must not depend on the tracer"
+    );
+    // And the recording tracer did actually record.
+    match jsonl_run.finish_trace() {
+        peerstripe::telemetry::TraceOutput::Jsonl(jsonl) => {
+            assert!(!jsonl.is_empty(), "JsonlTracer captured nothing")
+        }
+        other => panic!("expected a JSONL trace, got {other:?}"),
+    }
+}
+
+/// The registry port of `MaintenanceMetrics` is an accounting identity, not
+/// an approximation: every exported counter equals the report field it
+/// mirrors, which the engine's `WriteOffAccounting` keeps balanced.
+#[test]
+fn registry_counters_balance_with_the_report() {
+    let engine = engine_with(Box::new(NullTracer));
+    let report = engine.report();
+    let registry = engine.metrics_registry();
+    let counter = |name: &str| {
+        registry
+            .find_counter(name, &[])
+            .unwrap_or_else(|| panic!("counter '{name}' missing from the registry"))
+    };
+    assert_eq!(counter("maintenance_files_lost_total"), report.files_lost);
+    assert_eq!(
+        counter("maintenance_repair_bytes_total"),
+        report.repair_bytes.as_u64()
+    );
+    assert_eq!(
+        counter("maintenance_blocks_regenerated_total"),
+        report.blocks_regenerated
+    );
+    assert_eq!(
+        counter("maintenance_wasted_repair_bytes_total"),
+        report.wasted_repair_bytes.as_u64()
+    );
+    assert!(report.files_lost > 0, "scenario too quiet to exercise loss");
+}
+
+/// Acceptance: in the grouped-churn placement scenario every lost file is
+/// attributed to a concrete outage and declaration — directly when the
+/// finishing declaration belonged to the outage, by block-vote otherwise.
+#[test]
+fn placement_outage_losses_are_fully_attributed() {
+    let artifacts =
+        trace_cmd::run_trace(&trace_config("placement-outage", 42)).expect("known scenario");
+    let summary = trace_cmd::summarize(&artifacts.jsonl).expect("trace parses");
+    assert!(
+        !summary.files_lost.is_empty(),
+        "scenario lost no files; attribution is untested"
+    );
+    assert_eq!(
+        summary.unattributed, 0,
+        "every loss must trace to a group outage"
+    );
+    for loss in &summary.files_lost {
+        assert!(
+            loss.outage.is_some(),
+            "file {} has no causing outage",
+            loss.file
+        );
+        assert!(
+            loss.declared_at_ns > 0,
+            "file {} lacks a causing declaration time",
+            loss.file
+        );
+    }
+}
