@@ -18,6 +18,7 @@
 //! examples and integration tests (real chunk payloads run through the real
 //! erasure codecs of `peerstripe-erasure`).
 
+use crate::backend::StorageBackend;
 use crate::cat::ChunkAllocationTable;
 use crate::cluster::StorageCluster;
 use crate::metrics::StoreMetrics;
@@ -101,8 +102,13 @@ pub struct RecoveryReport {
 }
 
 /// The PeerStripe storage system.
-pub struct PeerStripe {
-    cluster: StorageCluster,
+///
+/// Generic over its [`StorageBackend`]: the in-process [`StorageCluster`]
+/// simulator by default (every existing experiment), or `peerstripe-net`'s
+/// gateway to drive live `peerstripe-node` daemons over TCP — the store,
+/// retrieve, and recovery paths are the same code either way.
+pub struct PeerStripe<B: StorageBackend = StorageCluster> {
+    backend: B,
     config: PeerStripeConfig,
     manifests: ManifestStore,
     metrics: StoreMetrics,
@@ -110,11 +116,11 @@ pub struct PeerStripe {
     topology: Option<Topology>,
 }
 
-impl PeerStripe {
-    /// Create a PeerStripe instance over an existing cluster, placing blocks
+impl<B: StorageBackend> PeerStripe<B> {
+    /// Create a PeerStripe instance over an existing backend, placing blocks
     /// through the classic overlay routing (the paper's behaviour).
-    pub fn new(cluster: StorageCluster, config: PeerStripeConfig) -> Self {
-        Self::with_placement(cluster, config, Box::new(OverlayRandom::new()), None)
+    pub fn new(backend: B, config: PeerStripeConfig) -> Self {
+        Self::with_placement(backend, config, Box::new(OverlayRandom::new()), None)
     }
 
     /// Create a PeerStripe instance with an explicit placement strategy and
@@ -122,19 +128,51 @@ impl PeerStripe {
     /// strategies cap each chunk at the coding policy's tolerable losses per
     /// domain, and every placed block's domain is recorded in the manifest.
     pub fn with_placement(
-        cluster: StorageCluster,
+        backend: B,
         config: PeerStripeConfig,
         placement: Box<dyn PlacementStrategy>,
         topology: Option<Topology>,
     ) -> Self {
         PeerStripe {
-            cluster,
+            backend,
             config,
             manifests: ManifestStore::new(),
             metrics: StoreMetrics::new(),
             placement,
             topology,
         }
+    }
+
+    /// The backend this instance drives.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Consume the system and return its backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// The manifest of a stored file, if manifests are being tracked.
+    pub fn manifest(&self, name: &str) -> Option<&FileManifest> {
+        self.manifests.get(name)
+    }
+
+    /// All manifests (for availability sweeps).
+    pub fn manifests(&self) -> &ManifestStore {
+        &self.manifests
+    }
+
+    /// True if a previously stored file is still retrievable from the backend.
+    pub fn is_file_available(&self, name: &str) -> bool {
+        self.manifest(name)
+            .map(|m| m.is_available(&self.backend))
+            .unwrap_or(false)
     }
 
     /// The instance's configuration.
@@ -167,11 +205,6 @@ impl PeerStripe {
     /// The domain a node belongs to under the configured topology.
     fn domain_of(&self, node: NodeRef) -> Option<peerstripe_placement::DomainId> {
         self.topology.as_ref().and_then(|t| t.domain_of(node))
-    }
-
-    /// Consume the system and return its cluster (for re-use between phases).
-    pub fn into_cluster(self) -> StorageCluster {
-        self.cluster
     }
 
     /// Object name for one placed block of a chunk under the current policy.
@@ -207,7 +240,7 @@ impl PeerStripe {
         let cap = self.domain_cap();
         let Some(picks) =
             self.placement
-                .plan_chunk(&mut self.cluster, self.topology.as_ref(), &keys, cap)
+                .plan_chunk(&mut self.backend, self.topology.as_ref(), &keys, cap)
         else {
             return (Vec::new(), ByteSize::ZERO);
         };
@@ -244,8 +277,8 @@ impl PeerStripe {
             };
             let payload = payloads.map(|p| p[i].clone());
             match self
-                .cluster
-                .store_object_at(*node, name.key(), name.clone(), size, payload)
+                .backend
+                .store_block(*node, name.key(), name.clone(), size, payload)
             {
                 Ok(_) => placed.push(BlockPlacement {
                     name: name.clone(),
@@ -256,7 +289,7 @@ impl PeerStripe {
                 Err(_) => {
                     // Roll back the blocks already placed for this chunk.
                     for b in &placed {
-                        self.cluster.rollback_object(b.node, &b.name, b.size);
+                        self.backend.rollback_block(b.node, &b.name, b.size);
                     }
                     return None;
                 }
@@ -274,7 +307,7 @@ impl PeerStripe {
     fn rollback(&mut self, chunks: &[ChunkPlacement]) {
         for c in chunks {
             for b in &c.blocks {
-                self.cluster.rollback_object(b.node, &b.name, b.size);
+                self.backend.rollback_block(b.node, &b.name, b.size);
             }
         }
     }
@@ -287,20 +320,16 @@ impl PeerStripe {
         // Primary copy at the key's root, replicas on the numerically closest
         // neighbours (the leaf-set replication of Section 4.4).
         let replicas = self.config.cat_replicas.max(1);
-        let targets = self
-            .cluster
-            .overlay()
-            .ring()
-            .k_closest(name.key(), replicas);
+        let targets = self.backend.replica_targets(name.key(), replicas);
         for (i, (_, node)) in targets.into_iter().enumerate() {
             // Each copy is an independent object so per-node keys stay unique;
             // only the primary charge a lookup (the replicas ride the leaf set).
             if i == 0 {
-                let _ = self.cluster.overlay_mut().route(name.key());
+                let _ = self.backend.route_lookup(name.key());
             }
             if self
-                .cluster
-                .store_object_at(
+                .backend
+                .store_block(
                     node,
                     ObjectName::cat(format!("{file}#r{i}")).key(),
                     name.clone(),
@@ -437,7 +466,7 @@ impl PeerStripe {
                 // Gather surviving payloads for this chunk.
                 let mut encoded: Vec<EncodedBlock> = Vec::new();
                 for b in &chunk.blocks {
-                    if let Some(obj) = self.cluster.fetch_from(b.node, &b.name) {
+                    if let Some(obj) = self.backend.fetch_block(b.node, &b.name) {
                         if let Some(payload) = &obj.payload {
                             for eb in unpack_payload(payload) {
                                 encoded.push(eb);
@@ -466,7 +495,7 @@ impl PeerStripe {
         let mut have: Vec<EncodedBlock> = Vec::new();
         let mut any_payload = false;
         for b in &chunk.blocks {
-            if let Some(obj) = self.cluster.fetch_from(b.node, &b.name) {
+            if let Some(obj) = self.backend.fetch_block(b.node, &b.name) {
                 if let Some(p) = &obj.payload {
                     any_payload = true;
                     have.extend(unpack_payload(p));
@@ -508,7 +537,7 @@ impl PeerStripe {
                 if lost == 0 {
                     continue;
                 }
-                if chunk.is_recoverable(&self.cluster) {
+                if chunk.is_recoverable(&self.backend) {
                     for b in chunk.blocks_on(failed) {
                         regenerations.push((manifest.name.clone(), chunk.chunk, b.size));
                     }
@@ -558,7 +587,7 @@ impl PeerStripe {
                     c.blocks
                         .iter()
                         .map(|b| b.node)
-                        .filter(|&n| self.cluster.overlay().is_alive(n))
+                        .filter(|&n| self.backend.is_alive(n))
                         .collect()
                 })
                 .unwrap_or_default();
@@ -566,8 +595,8 @@ impl PeerStripe {
             // placement strategy (which applies the same exclusion, plus any
             // domain constraints).
             let inheritor = takeover.inheritor_of(name.key()).1;
-            let target = if self.cluster.node(inheritor).can_store(size)
-                && self.cluster.overlay().is_alive(inheritor)
+            let target = if self.backend.can_store(inheritor, size)
+                && self.backend.is_alive(inheritor)
                 && !holders.contains(&inheritor)
             {
                 Some(inheritor)
@@ -580,14 +609,14 @@ impl PeerStripe {
                     domain_cap: self.domain_cap(),
                 };
                 self.placement
-                    .repair_targets(&self.cluster, self.topology.as_ref(), &request, &mut rng)
+                    .repair_targets(&self.backend, self.topology.as_ref(), &request, &mut rng)
                     .into_iter()
                     .next()
             };
             if let Some(node) = target {
                 if self
-                    .cluster
-                    .store_object_at(node, name.key(), name.clone(), size, payload)
+                    .backend
+                    .store_block(node, name.key(), name.clone(), size, payload)
                     .is_ok()
                 {
                     report.blocks_regenerated += 1;
@@ -611,11 +640,7 @@ impl PeerStripe {
         for file in cat_repairs {
             let replicas = self.config.cat_replicas.max(1);
             let cat_key = ObjectName::cat(&file).key();
-            let candidates = self
-                .cluster
-                .overlay()
-                .ring()
-                .k_closest(cat_key, replicas + 1);
+            let candidates = self.backend.replica_targets(cat_key, replicas + 1);
             if let Some(m) = self.manifests.get_mut(&file) {
                 m.cat_nodes.retain(|n| *n != failed);
                 for (_, node) in candidates {
@@ -641,10 +666,9 @@ impl PeerStripe {
         while consecutive_missing <= self.config.zero_chunk_limit {
             let name = self.block_name(file, chunk_no, 0);
             let found = self
-                .cluster
-                .overlay_mut()
-                .route(name.key())
-                .and_then(|node| self.cluster.fetch_from(node, &name).map(|o| o.size));
+                .backend
+                .route_lookup(name.key())
+                .and_then(|node| self.backend.fetch_block(node, &name).map(|o| o.size));
             // With coding, the probed block holds only one of the chunk's placed
             // blocks; scale back up to the chunk's data size.
             match found {
@@ -749,7 +773,14 @@ pub fn unpack_payload(payload: &[u8]) -> Vec<EncodedBlock> {
     out
 }
 
-impl StorageSystem for PeerStripe {
+impl PeerStripe<StorageCluster> {
+    /// Consume the system and return its cluster (for re-use between phases).
+    pub fn into_cluster(self) -> StorageCluster {
+        self.backend
+    }
+}
+
+impl StorageSystem for PeerStripe<StorageCluster> {
     fn name(&self) -> &str {
         "Our System"
     }
@@ -763,11 +794,11 @@ impl StorageSystem for PeerStripe {
     }
 
     fn cluster(&self) -> &StorageCluster {
-        &self.cluster
+        &self.backend
     }
 
     fn cluster_mut(&mut self) -> &mut StorageCluster {
-        &mut self.cluster
+        &mut self.backend
     }
 
     fn manifest(&self, name: &str) -> Option<&FileManifest> {

@@ -15,6 +15,8 @@
 //! * [`policy`] — placement-level coding policies (none / XOR / online);
 //! * [`storage`] + [`cluster`] — the contributory storage substrate shared with
 //!   the PAST/CFS baselines;
+//! * [`backend`] — the [`StorageBackend`] seam the client drives, implemented
+//!   by the simulator here and by live TCP daemons in `peerstripe-net`;
 //! * [`client`] — the [`PeerStripe`] system itself (store, retrieve, recover);
 //! * [`system`] — the [`StorageSystem`] trait and placement manifests;
 //! * [`churn`] — availability tracking and regeneration sweeps (Figure 10, Table 3);
@@ -23,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod cat;
 pub mod churn;
 pub mod client;
@@ -33,6 +36,7 @@ pub mod policy;
 pub mod storage;
 pub mod system;
 
+pub use backend::{FetchedBlock, StorageBackend};
 pub use cat::{ChunkAllocationTable, ChunkExtent};
 pub use churn::{DamageLedger, NodeLoss};
 pub use client::{PeerStripe, PeerStripeConfig, RecoveryReport};

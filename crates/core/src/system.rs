@@ -10,6 +10,7 @@ use crate::cluster::StorageCluster;
 use crate::metrics::StoreMetrics;
 use crate::naming::ObjectName;
 use peerstripe_overlay::NodeRef;
+use peerstripe_placement::ClusterView;
 use peerstripe_sim::ByteSize;
 use peerstripe_trace::FileRecord;
 use std::collections::BTreeMap;
@@ -64,15 +65,14 @@ pub struct ChunkPlacement {
 
 impl ChunkPlacement {
     /// True if enough of this chunk's blocks are on live nodes to recover it.
-    pub fn is_recoverable(&self, cluster: &StorageCluster) -> bool {
+    ///
+    /// Generic over [`ClusterView`] so availability can be judged against any
+    /// backend — the in-process simulator or a live ring of TCP daemons.
+    pub fn is_recoverable<V: ClusterView + ?Sized>(&self, view: &V) -> bool {
         if self.size.is_zero() {
             return true;
         }
-        let alive = self
-            .blocks
-            .iter()
-            .filter(|b| cluster.overlay().is_alive(b.node))
-            .count();
+        let alive = self.blocks.iter().filter(|b| view.is_alive(b.node)).count();
         alive >= self.min_blocks_needed
     }
 
@@ -100,15 +100,15 @@ impl FileManifest {
     ///
     /// This is the availability criterion of Section 6.2: "We counted a file as
     /// available only if all the chunks of the file could be retrieved."
-    pub fn is_available(&self, cluster: &StorageCluster) -> bool {
-        self.chunks.iter().all(|c| c.is_recoverable(cluster))
+    pub fn is_available<V: ClusterView + ?Sized>(&self, view: &V) -> bool {
+        self.chunks.iter().all(|c| c.is_recoverable(view))
     }
 
     /// Total bytes of user data covered by recoverable chunks.
-    pub fn recoverable_bytes(&self, cluster: &StorageCluster) -> ByteSize {
+    pub fn recoverable_bytes<V: ClusterView + ?Sized>(&self, view: &V) -> ByteSize {
         self.chunks
             .iter()
-            .filter(|c| c.is_recoverable(cluster))
+            .filter(|c| c.is_recoverable(view))
             .map(|c| c.size)
             .sum()
     }
@@ -177,10 +177,10 @@ impl ManifestStore {
     }
 
     /// Count how many stored files are currently available.
-    pub fn available_count(&self, cluster: &StorageCluster) -> usize {
+    pub fn available_count<V: ClusterView + ?Sized>(&self, view: &V) -> usize {
         self.manifests
             .values()
-            .filter(|m| m.is_available(cluster))
+            .filter(|m| m.is_available(view))
             .count()
     }
 }

@@ -389,30 +389,35 @@ struct SnapshotFileRow {
 /// should fail the check.
 pub const CHECK_TOLERANCE: f64 = 0.5;
 
-/// Re-measure the `repair_schedule` snapshot (the engine hot path, with the
-/// default `NullTracer`) and compare against the committed
-/// `BENCH_repair_schedule.json` under `dir`.  Returns a per-row report, or an
-/// error naming every row that fell below [`CHECK_TOLERANCE`] of its
-/// committed throughput.
-pub fn check_repair_schedule(dir: &Path, config: &BenchSnapshotConfig) -> Result<String, String> {
-    let path = dir.join("BENCH_repair_schedule.json");
+/// Compare one freshly measured snapshot against its committed
+/// `BENCH_<name>.json` under `dir`.  Appends per-row lines to `report` and
+/// failure messages to `failures`.
+fn check_one_snapshot(
+    dir: &Path,
+    fresh: &BenchSnapshot,
+    report: &mut String,
+    failures: &mut Vec<String>,
+) -> Result<(), String> {
+    let path = dir.join(format!("BENCH_{}.json", fresh.name));
     let text =
         std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
     let committed: SnapshotFile =
         serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
-    if committed.benchmark != "repair_schedule" {
+    if committed.benchmark != fresh.name {
         return Err(format!(
-            "{} is a '{}' snapshot, expected repair_schedule",
+            "{} is a '{}' snapshot, expected {}",
             path.display(),
-            committed.benchmark
+            committed.benchmark,
+            fresh.name
         ));
     }
-    let fresh = run_repair_schedule_snapshot(config);
-    let mut report = String::new();
-    let mut failures = Vec::new();
     for row in &fresh.rows {
         let Some(baseline) = committed.rows.iter().find(|r| r.id == row.id) else {
-            let _ = writeln!(report, "{}: no committed baseline (skipped)", row.id);
+            let _ = writeln!(
+                report,
+                "{}/{}: no committed baseline (skipped)",
+                fresh.name, row.id
+            );
             continue;
         };
         let ratio = if baseline.per_sec > 0.0 {
@@ -422,15 +427,55 @@ pub fn check_repair_schedule(dir: &Path, config: &BenchSnapshotConfig) -> Result
         };
         let _ = writeln!(
             report,
-            "{}: {:.0}/s vs committed {:.0}/s ({:.2}x)",
-            row.id, row.per_sec, baseline.per_sec, ratio
+            "{}/{}: {:.0}/s vs committed {:.0}/s ({:.2}x)",
+            fresh.name, row.id, row.per_sec, baseline.per_sec, ratio
         );
         if ratio < CHECK_TOLERANCE {
             failures.push(format!(
-                "{} regressed to {:.2}x of the committed throughput",
-                row.id, ratio
+                "{}/{} regressed to {:.2}x of the committed throughput",
+                fresh.name, row.id, ratio
             ));
         }
+    }
+    Ok(())
+}
+
+/// Re-measure the `repair_schedule` snapshot (the engine hot path, with the
+/// default `NullTracer`) and compare against the committed
+/// `BENCH_repair_schedule.json` under `dir`.  Returns a per-row report, or an
+/// error naming every row that fell below [`CHECK_TOLERANCE`] of its
+/// committed throughput.
+pub fn check_repair_schedule(dir: &Path, config: &BenchSnapshotConfig) -> Result<String, String> {
+    let mut report = String::new();
+    let mut failures = Vec::new();
+    check_one_snapshot(
+        dir,
+        &run_repair_schedule_snapshot(config),
+        &mut report,
+        &mut failures,
+    )?;
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!("{report}\n{}", failures.join("\n")))
+    }
+}
+
+/// Re-measure **all three** committed snapshots — `repair_schedule`,
+/// `detector_decide`, and `placement_decide` — and compare each against its
+/// `BENCH_*.json` under `dir`.  Rows without a committed baseline (e.g. the
+/// 200-node rows of a `--scale small` run against medium-scale baselines)
+/// are reported but skipped; any measured row below [`CHECK_TOLERANCE`] of
+/// its committed throughput fails the check.
+pub fn check_snapshots(dir: &Path, config: &BenchSnapshotConfig) -> Result<String, String> {
+    let mut report = String::new();
+    let mut failures = Vec::new();
+    for fresh in [
+        run_repair_schedule_snapshot(config),
+        run_detector_decide_snapshot(config),
+        run_placement_decide_snapshot(config),
+    ] {
+        check_one_snapshot(dir, &fresh, &mut report, &mut failures)?;
     }
     if failures.is_empty() {
         Ok(report)
@@ -510,6 +555,37 @@ mod tests {
         write_snapshots(&dir, &config).unwrap();
         let report = check_repair_schedule(&dir, &config).unwrap();
         assert!(report.contains("churn_24h/50_nodes"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_snapshots_gates_all_three_benchmarks() {
+        let config = BenchSnapshotConfig {
+            node_counts: vec![50],
+            seed: 7,
+        };
+        let dir = std::env::temp_dir().join(format!("bench_check_all_{}", std::process::id()));
+        write_snapshots(&dir, &config).unwrap();
+        let report = check_snapshots(&dir, &config).unwrap();
+        for needle in [
+            "repair_schedule/churn_24h/50_nodes",
+            "detector_decide/",
+            "placement_decide/plan_chunk/overlay-random/50_nodes",
+        ] {
+            assert!(report.contains(needle), "missing {needle}:\n{report}");
+        }
+
+        // Sabotage one committed baseline: an inflated committed throughput
+        // must fail the check and name the regressed row.
+        let path = dir.join("BENCH_placement_decide.json");
+        // Prefixing digits multiplies every committed throughput ~10^4-fold.
+        let inflated = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"per_sec\": ", "\"per_sec\": 9999");
+        std::fs::write(&path, inflated).unwrap();
+        let err = check_snapshots(&dir, &config).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        assert!(err.contains("placement_decide/"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -24,6 +24,8 @@
 //!   bench-snapshot          capture BENCH_*.json perf snapshots under benchmarks/
 //!   trace                   run a named scenario with the JSONL tracer attached
 //!   trace-summary           digest a .jsonl trace into causal loss breakdowns
+//!   ring                    spawn localhost peerstripe-node daemons, store and
+//!                           recover a file through a real node kill
 //! ```
 
 use peerstripe_experiments::cli::run_experiment_with;
@@ -113,7 +115,8 @@ fn usage() -> String {
                 repro lint [--format text|json]\n\
                 repro bench-snapshot [--out DIR] [--scale small|medium|paper] [--seed N] [--check]\n\
                 repro trace [--scenario <{}>] [--scale small|medium|paper] [--seed N] [--profile] [--out DIR]\n\
-                repro trace-summary FILE [--format text|json]",
+                repro trace-summary FILE [--format text|json]\n\
+                repro ring [--scale small|medium|paper] [--seed N] [--format text|json] [--out DIR]",
         peerstripe_experiments::cli::EXPERIMENTS.join("|"),
         peerstripe_experiments::trace_cmd::SCENARIOS.join("|"),
     )
@@ -173,9 +176,10 @@ fn run_bench_snapshot(args: &Args) -> ! {
         args.scale, args.seed,
     );
     if args.check {
-        // Regression check: re-measure the engine hot path and compare
-        // against the committed snapshot instead of overwriting it.
-        match peerstripe_experiments::bench_snapshot::check_repair_schedule(&dir, &config) {
+        // Regression check: re-measure all three snapshot hot paths (repair
+        // engine, detector decide, placement decide) and compare against the
+        // committed snapshots instead of overwriting them.
+        match peerstripe_experiments::bench_snapshot::check_snapshots(&dir, &config) {
             Ok(report) => {
                 print!("{report}");
                 println!("bench-snapshot check passed");
@@ -273,6 +277,56 @@ fn run_trace(args: &Args) -> ! {
     std::process::exit(0);
 }
 
+/// `repro ring`: spawn a localhost ring of real daemons, store a file
+/// through the gateway, kill one daemon, and verify degraded read + repair.
+/// Writes the JSON report (with per-RPC latency telemetry) when `--out` is
+/// given.
+fn run_ring(args: &Args) -> ! {
+    let config = peerstripe_experiments::ring_cmd::RingCmdConfig::at_scale(args.scale, args.seed);
+    eprintln!(
+        "# spawning {} localhost daemons, storing {} through the gateway",
+        config.nodes, config.file_size
+    );
+    let report = match peerstripe_experiments::ring_cmd::run_ring(&config) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("repro ring: {msg}");
+            std::process::exit(2);
+        }
+    };
+    if args.json {
+        println!(
+            "{}",
+            peerstripe_experiments::ring_cmd::render_ring_json(&report)
+        );
+    } else {
+        print!(
+            "{}",
+            peerstripe_experiments::ring_cmd::render_ring_text(&report)
+        );
+    }
+    if let Some(dir) = &args.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("repro ring: create {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        let file = dir.join(format!("ring_{}_seed{}.json", args.scale, args.seed));
+        if let Err(e) = std::fs::write(
+            &file,
+            peerstripe_experiments::ring_cmd::render_ring_json(&report),
+        ) {
+            eprintln!("repro ring: write {}: {e}", file.display());
+            std::process::exit(2);
+        }
+        eprintln!("wrote {}", file.display());
+    }
+    std::process::exit(if report.recovered && report.chunks_lost == 0 {
+        0
+    } else {
+        1
+    });
+}
+
 /// `repro trace-summary FILE`: digest an existing trace.
 fn run_trace_summary(args: &Args) -> ! {
     let Some(path) = &args.path else {
@@ -321,6 +375,7 @@ fn main() {
         "bench-snapshot" => run_bench_snapshot(&args),
         "trace" => run_trace(&args),
         "trace-summary" => run_trace_summary(&args),
+        "ring" => run_ring(&args),
         _ => {}
     }
     println!(

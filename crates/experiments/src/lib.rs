@@ -20,6 +20,10 @@
 //! Every driver is parameterised by [`scale::Scale`]: `small` for tests and
 //! benches, `medium` for the default `repro` run, `paper` for the published
 //! parameters (10 000 nodes, 1.2 M files).
+//!
+//! Beyond the paper's figures, [`ring_cmd`] (`repro ring`) drives the same
+//! client/placement/erasure stack against a localhost ring of real
+//! `peerstripe-node` daemon processes over TCP.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,6 +37,7 @@ pub mod multicast_fig;
 pub mod placement_sweep;
 pub mod repair_sweep;
 pub mod report;
+pub mod ring_cmd;
 pub mod scale;
 pub mod storesim;
 pub mod trace_cmd;

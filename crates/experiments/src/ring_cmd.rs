@@ -1,0 +1,294 @@
+//! `repro ring` — the networked deployment harness.
+//!
+//! Spawns a localhost ring of real `peerstripe-node` daemon processes,
+//! drives the unchanged `PeerStripe` client + placement + erasure stack
+//! against them through the TCP gateway, kills one daemon, and verifies the
+//! file survives a degraded read and the repair path.  The report carries
+//! the gateway's per-RPC counters and latency histograms, so the run doubles
+//! as a localhost RPC benchmark.
+
+use crate::Scale;
+use peerstripe_core::{CodingPolicy, PeerStripe, PeerStripeConfig};
+use peerstripe_net::{node_binary, GatewayConfig, LocalRing};
+use peerstripe_overlay::NodeRef;
+use peerstripe_sim::{ByteSize, DetRng};
+use peerstripe_telemetry::{HistogramExport, RegistryExport};
+use serde::Serialize;
+
+/// Parameters of one `repro ring` run.
+#[derive(Debug, Clone)]
+pub struct RingCmdConfig {
+    /// Number of daemon processes to spawn.
+    pub nodes: usize,
+    /// Contributed capacity per daemon.
+    pub node_capacity: ByteSize,
+    /// Size of the file stored through the gateway.
+    pub file_size: ByteSize,
+    /// Seed for the file's deterministic contents.
+    pub seed: u64,
+}
+
+impl RingCmdConfig {
+    /// Ring sizing per scale: enough daemons that a (5, 3) Reed-Solomon
+    /// chunk always spreads wider than any single failure.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let (nodes, file_size) = match scale {
+            Scale::Small => (8, ByteSize::kb(256)),
+            Scale::Medium => (12, ByteSize::mb(1)),
+            Scale::Paper => (16, ByteSize::mb(4)),
+        };
+        RingCmdConfig {
+            nodes,
+            node_capacity: ByteSize::mb(64),
+            file_size,
+            seed,
+        }
+    }
+}
+
+/// One operation's aggregated RPC telemetry.
+#[derive(Debug, Clone, Serialize)]
+pub struct RpcStat {
+    /// Wire operation name (`store_block`, `fetch_block`, ...).
+    pub op: String,
+    /// RPCs issued.
+    pub calls: u64,
+    /// RPCs that failed (transport or protocol).
+    pub errors: u64,
+    /// Mean round-trip latency in milliseconds.
+    pub mean_ms: f64,
+}
+
+/// Everything one `repro ring` run measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct RingReport {
+    /// Daemons spawned.
+    pub nodes: usize,
+    /// Bytes stored through the gateway.
+    pub file_bytes: u64,
+    /// Which daemon was killed.
+    pub victim: NodeRef,
+    /// Wall-clock milliseconds to store the file.
+    pub store_ms: f64,
+    /// Wall-clock milliseconds to read it back with all daemons live.
+    pub fetch_ms: f64,
+    /// Wall-clock milliseconds to read it back with the victim dead.
+    pub degraded_fetch_ms: f64,
+    /// Wall-clock milliseconds for the repair path.
+    pub repair_ms: f64,
+    /// Blocks the repair path regenerated.
+    pub blocks_regenerated: u64,
+    /// Chunks the repair path could not recover (must be 0).
+    pub chunks_lost: u64,
+    /// Whether every read returned the original bytes.
+    pub recovered: bool,
+    /// Per-operation RPC counters and mean latencies.
+    pub rpc: Vec<RpcStat>,
+    /// Full metrics-registry export (counters + latency histograms).
+    pub metrics: RegistryExport,
+}
+
+/// Milliseconds elapsed while running `f`, paired with its result.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now(); // lint:allow(wall-clock) -- the ring harness measures real store/fetch latency on live TCP daemons
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Deterministic file contents for `seed`.
+fn file_bytes(size: ByteSize, seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    (0..size.as_u64()).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Aggregate the gateway's registry export into per-op rows.
+fn rpc_stats(export: &RegistryExport) -> Vec<RpcStat> {
+    let op_of = |labels: &[(String, String)]| {
+        labels
+            .iter()
+            .find(|(k, _)| k == "op")
+            .map(|(_, v)| v.clone())
+    };
+    let hist_for = |op: &str| -> Option<&HistogramExport> {
+        export
+            .histograms
+            .iter()
+            .find(|h| h.name == "gateway_rpc_latency_ms" && op_of(&h.labels).as_deref() == Some(op))
+    };
+    let count_for = |name: &str, op: &str| -> u64 {
+        export
+            .counters
+            .iter()
+            .filter(|c| c.name == name && op_of(&c.labels).as_deref() == Some(op))
+            .map(|c| c.value)
+            .sum()
+    };
+    let mut ops: Vec<String> = export
+        .counters
+        .iter()
+        .filter(|c| c.name == "gateway_rpc_total")
+        .filter_map(|c| op_of(&c.labels))
+        .collect();
+    ops.sort();
+    ops.dedup();
+    ops.into_iter()
+        .map(|op| {
+            let calls = count_for("gateway_rpc_total", &op);
+            let mean_ms = hist_for(&op)
+                .filter(|h| h.count > 0)
+                .map(|h| h.sum / h.count as f64)
+                .unwrap_or(0.0);
+            RpcStat {
+                errors: count_for("gateway_rpc_errors", &op),
+                calls,
+                mean_ms,
+                op,
+            }
+        })
+        .filter(|s| s.calls > 0)
+        .collect()
+}
+
+/// Run the full store → kill → degraded read → repair → read cycle against
+/// a freshly spawned localhost ring.
+pub fn run_ring(config: &RingCmdConfig) -> Result<RingReport, String> {
+    let bin = node_binary().ok_or_else(|| {
+        "peerstripe-node binary not found; build it with \
+         `cargo build -p peerstripe-net --bin peerstripe-node` \
+         or point PEERSTRIPE_NODE_BIN at it"
+            .to_string()
+    })?;
+    let mut ring = LocalRing::spawn(&bin, config.nodes, config.node_capacity)
+        .map_err(|e| format!("spawning {} daemons: {e}", config.nodes))?;
+    let gateway = ring.gateway(GatewayConfig::default());
+    let mut client = PeerStripe::new(
+        gateway,
+        PeerStripeConfig {
+            coding: CodingPolicy::ReedSolomon { data: 5, parity: 3 },
+            ..PeerStripeConfig::default()
+        },
+    );
+
+    let name = "ring/payload.bin";
+    let data = file_bytes(config.file_size, config.seed);
+
+    let (outcome, store_ms) = timed(|| client.store_data(name, &data));
+    if !outcome.is_stored() {
+        return Err(format!("store failed: {outcome:?}"));
+    }
+    let (fetched, fetch_ms) = timed(|| client.retrieve_data(name));
+    let whole_ok = fetched.as_deref() == Some(&data[..]);
+
+    // Kill a daemon that holds blocks of the file (overlay-random placement
+    // need not touch every node).
+    let victim = {
+        let manifest = client
+            .manifest(name)
+            .ok_or("manifest tracking is required")?;
+        (0..config.nodes)
+            .find(|&n| {
+                manifest
+                    .chunks
+                    .iter()
+                    .any(|c| c.blocks_on(n).next().is_some())
+            })
+            .ok_or("no node holds any block")?
+    };
+    ring.kill(victim).map_err(|e| format!("kill: {e}"))?;
+
+    let (degraded, degraded_fetch_ms) = timed(|| client.retrieve_data(name));
+    let degraded_ok = degraded.as_deref() == Some(&data[..]);
+
+    let takeover = client
+        .backend_mut()
+        .mark_failed(victim)
+        .ok_or("victim was not a ring member")?;
+    let (report, repair_ms) = timed(|| client.handle_node_failure(victim, &takeover));
+
+    let (reread, _) = timed(|| client.retrieve_data(name));
+    let recovered = whole_ok && degraded_ok && reread.as_deref() == Some(&data[..]);
+
+    let export = client.backend().export_metrics();
+    let rpc = rpc_stats(&export);
+
+    // Gracefully shut the survivors down (the ring's Drop kills whatever is
+    // left).
+    for e in ring.endpoints() {
+        if e.node != victim {
+            client.backend().shutdown_node(e.node);
+        }
+    }
+
+    Ok(RingReport {
+        nodes: config.nodes,
+        file_bytes: config.file_size.as_u64(),
+        victim,
+        store_ms,
+        fetch_ms,
+        degraded_fetch_ms,
+        repair_ms,
+        blocks_regenerated: report.blocks_regenerated,
+        chunks_lost: report.chunks_lost,
+        recovered,
+        rpc,
+        metrics: export,
+    })
+}
+
+/// Human-readable report.
+pub fn render_ring_text(report: &RingReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "networked ring: {} daemons, {} file, victim node {}\n",
+        report.nodes,
+        ByteSize::bytes(report.file_bytes),
+        report.victim
+    ));
+    out.push_str(&format!(
+        "  store {:.1} ms | fetch {:.1} ms | degraded fetch {:.1} ms | repair {:.1} ms\n",
+        report.store_ms, report.fetch_ms, report.degraded_fetch_ms, report.repair_ms
+    ));
+    out.push_str(&format!(
+        "  regenerated {} blocks, lost {} chunks, recovered: {}\n",
+        report.blocks_regenerated, report.chunks_lost, report.recovered
+    ));
+    out.push_str("  op             calls  errors  mean ms\n");
+    for stat in &report.rpc {
+        out.push_str(&format!(
+            "  {:<14} {:>5}  {:>6}  {:>7.3}\n",
+            stat.op, stat.calls, stat.errors, stat.mean_ms
+        ));
+    }
+    out
+}
+
+/// Machine-readable report (the `--format json` / `--out` artifact).
+pub fn render_ring_json(report: &RingReport) -> String {
+    serde_json::to_string(report).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_ring_stores_and_recovers() {
+        if node_binary().is_none() {
+            // The daemon binary is built by `cargo build -p peerstripe-net`;
+            // without it there is nothing to spawn.
+            eprintln!("skipping: peerstripe-node binary not built");
+            return;
+        }
+        let report = run_ring(&RingCmdConfig::at_scale(Scale::Small, 42)).unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.chunks_lost, 0);
+        assert!(report.blocks_regenerated > 0);
+        assert!(report
+            .rpc
+            .iter()
+            .any(|s| s.op == "store_block" && s.calls > 0));
+        let json = render_ring_json(&report);
+        assert!(json.contains("gateway_rpc_latency_ms"), "{json}");
+        assert!(!render_ring_text(&report).is_empty());
+    }
+}

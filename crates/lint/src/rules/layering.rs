@@ -96,6 +96,20 @@ pub fn builtin_policy() -> LayerPolicy {
                 "peerstripe-baselines",
             ],
         )
+        // The networked deployment path: speaks TCP to real daemons but
+        // reuses the cluster-facing traits (core/placement) and the metrics
+        // registry; it must never reach into the repair engine or the
+        // experiment drivers.
+        .allow(
+            "peerstripe-net",
+            &[
+                "peerstripe-sim",
+                "peerstripe-overlay",
+                "peerstripe-placement",
+                "peerstripe-core",
+                "peerstripe-telemetry",
+            ],
+        )
         .allow(
             "peerstripe-experiments",
             &[
@@ -111,6 +125,7 @@ pub fn builtin_policy() -> LayerPolicy {
                 "peerstripe-gridsim",
                 "peerstripe-lint",
                 "peerstripe-telemetry",
+                "peerstripe-net",
             ],
         )
         .allow(
@@ -147,6 +162,7 @@ pub fn builtin_policy() -> LayerPolicy {
                 "peerstripe-experiments",
                 "peerstripe-lint",
                 "peerstripe-telemetry",
+                "peerstripe-net",
             ],
         )
 }

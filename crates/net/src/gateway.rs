@@ -1,0 +1,542 @@
+//! The gateway: the networked [`StorageBackend`].
+//!
+//! A [`RingGateway`] holds the membership ring of a set of live
+//! `peerstripe-node` daemons and implements the exact cluster-facing traits
+//! the simulator does — [`ClusterView`], [`ProbeView`], and
+//! [`StorageBackend`] — by translating each call into a framed RPC.  The
+//! `PeerStripe` client, the placement strategies, and the repair executor
+//! drive it unchanged: the store path probes capacities over real sockets,
+//! the retrieve path pulls block bytes off the wire, and recovery reads
+//! surviving blocks from live daemons.
+//!
+//! Connections are pooled per node and transparently re-dialed once after a
+//! transport error.  Every RPC is counted and its wall-clock latency recorded
+//! in a [`MetricsRegistry`] (`gateway_rpc_total`, `gateway_rpc_errors`,
+//! `gateway_rpc_latency_ms`, labelled by operation), which the ring harness
+//! exports into its JSON report.
+
+use crate::protocol::{RemoteError, RepairBlock, Request, Response, WireError};
+use crate::server::call;
+use peerstripe_core::{
+    ClusterStoreError, FetchedBlock, NodeStoreError, ObjectName, StorageBackend,
+};
+use peerstripe_overlay::{Id, IdRing, NodeRef, Takeover};
+use peerstripe_placement::{ClusterView, ProbeView};
+use peerstripe_sim::ByteSize;
+use peerstripe_telemetry::{CounterHandle, HistogramHandle, MetricsRegistry, RegistryExport};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One daemon the gateway can reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeEndpoint {
+    /// The node's reference (its index in the gateway's node table).
+    pub node: NodeRef,
+    /// The node's overlay identifier.
+    pub id: Id,
+    /// Where the daemon listens.
+    pub addr: SocketAddr,
+}
+
+/// Gateway tunables.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Dial timeout and per-RPC socket read/write timeout.
+    pub timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Latency histogram bucket bounds, in milliseconds: localhost RPCs sit in
+/// the sub-millisecond buckets, WAN deployments in the tail.
+pub const LATENCY_BUCKETS_MS: &[f64] = &[
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+];
+
+/// The RPC operations the gateway issues, as metric label values.
+const OPS: &[&str] = &[
+    "ping",
+    "get_capacity",
+    "store_block",
+    "fetch_block",
+    "repair_read",
+    "remove_block",
+    "shutdown",
+];
+
+#[derive(Clone, Copy)]
+struct OpHandles {
+    total: CounterHandle,
+    errors: CounterHandle,
+    latency: HistogramHandle,
+}
+
+/// The networked backend: a membership ring over live node daemons.
+pub struct RingGateway {
+    endpoints: BTreeMap<NodeRef, SocketAddr>,
+    ids: BTreeMap<NodeRef, Id>,
+    ring: IdRing,
+    timeout: Duration,
+    conns: Mutex<BTreeMap<NodeRef, TcpStream>>,
+    /// Last capacity report seen per node — the `&self` view methods
+    /// ([`ClusterView::report_of`]) answer from this cache; live probes
+    /// refresh it.
+    reports: Mutex<BTreeMap<NodeRef, ByteSize>>,
+    metrics: Mutex<MetricsRegistry>,
+    handles: BTreeMap<&'static str, OpHandles>,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    // Poisoning only marks a panicked peer thread; the maps stay usable.
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl RingGateway {
+    /// Build a gateway over the given endpoints. No connection is made until
+    /// the first RPC.
+    pub fn connect(endpoints: &[NodeEndpoint], config: GatewayConfig) -> RingGateway {
+        let mut ring = IdRing::new();
+        let mut addr_map = BTreeMap::new();
+        let mut ids = BTreeMap::new();
+        for ep in endpoints {
+            ring.insert(ep.id, ep.node);
+            addr_map.insert(ep.node, ep.addr);
+            ids.insert(ep.node, ep.id);
+        }
+        let mut metrics = MetricsRegistry::new();
+        let mut handles = BTreeMap::new();
+        for op in OPS {
+            handles.insert(
+                *op,
+                OpHandles {
+                    total: metrics.counter("gateway_rpc_total", &[("op", op)]),
+                    errors: metrics.counter("gateway_rpc_errors", &[("op", op)]),
+                    latency: metrics.histogram(
+                        "gateway_rpc_latency_ms",
+                        &[("op", op)],
+                        LATENCY_BUCKETS_MS,
+                    ),
+                },
+            );
+        }
+        RingGateway {
+            endpoints: addr_map,
+            ids,
+            ring,
+            timeout: config.timeout,
+            conns: Mutex::new(BTreeMap::new()),
+            reports: Mutex::new(BTreeMap::new()),
+            metrics: Mutex::new(metrics),
+            handles,
+        }
+    }
+
+    /// The overlay id of a node reference.
+    pub fn id_of(&self, node: NodeRef) -> Option<Id> {
+        self.ids.get(&node).copied()
+    }
+
+    /// Dial a node fresh.
+    fn dial(&self, node: NodeRef) -> Result<TcpStream, WireError> {
+        let addr = self
+            .endpoints
+            .get(&node)
+            .ok_or_else(|| WireError::Body(format!("unknown node {node}")))?;
+        let stream = TcpStream::connect_timeout(addr, self.timeout).map_err(WireError::Io)?;
+        let _ = stream.set_read_timeout(Some(self.timeout));
+        let _ = stream.set_write_timeout(Some(self.timeout));
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    /// One RPC against `node`: pooled connection, one transparent re-dial
+    /// after a transport error, latency and outcome recorded under `op`.
+    fn rpc(&self, node: NodeRef, op: &'static str, req: &Request) -> Result<Response, WireError> {
+        let start = std::time::Instant::now(); // lint:allow(wall-clock) -- measuring real RPC latency on the network path is the point of the gateway histograms
+        let result = self.rpc_uninstrumented(node, req);
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some(h) = self.handles.get(op) {
+            let mut metrics = lock(&self.metrics);
+            metrics.inc(h.total, 1);
+            metrics.observe(h.latency, elapsed_ms);
+            if result.is_err() {
+                metrics.inc(h.errors, 1);
+            }
+        }
+        result
+    }
+
+    fn rpc_uninstrumented(&self, node: NodeRef, req: &Request) -> Result<Response, WireError> {
+        let mut conns = lock(&self.conns);
+        let mut fresh = false;
+        let mut stream = match conns.remove(&node) {
+            Some(s) => s,
+            None => {
+                fresh = true;
+                self.dial(node)?
+            }
+        };
+        match call(&mut stream, req) {
+            Ok(resp) => {
+                conns.insert(node, stream);
+                Ok(resp)
+            }
+            Err(e) if e.is_transport() && !fresh => {
+                // The pooled connection went stale (daemon restarted, idle
+                // timeout); re-dial once.
+                let mut stream = self.dial(node)?;
+                let resp = call(&mut stream, req)?;
+                conns.insert(node, stream);
+                Ok(resp)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Probe one node's capacity over the wire, refreshing the report cache.
+    fn capacity_rpc(&self, node: NodeRef) -> Option<ByteSize> {
+        match self.rpc(node, "get_capacity", &Request::GetCapacity) {
+            Ok(Response::Capacity { free }) => {
+                lock(&self.reports).insert(node, free);
+                Some(free)
+            }
+            _ => None,
+        }
+    }
+
+    /// Liveness-check one node.
+    pub fn ping(&self, node: NodeRef) -> bool {
+        matches!(
+            self.rpc(node, "ping", &Request::Ping),
+            Ok(Response::Pong { .. })
+        )
+    }
+
+    /// Read every surviving block of `(file, chunk)` held by `node` — the
+    /// bulk regeneration read.
+    pub fn repair_read(
+        &self,
+        node: NodeRef,
+        file: &str,
+        chunk: u32,
+    ) -> Result<Vec<RepairBlock>, WireError> {
+        match self.rpc(
+            node,
+            "repair_read",
+            &Request::RepairRead {
+                file: file.to_string(),
+                chunk,
+            },
+        )? {
+            Response::RepairBlocks { blocks } => Ok(blocks),
+            Response::Error(e) => Err(WireError::Body(e.to_string())),
+            other => Err(WireError::Body(format!(
+                "unexpected reply to RepairRead: {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask one daemon to shut down gracefully.
+    pub fn shutdown_node(&self, node: NodeRef) -> bool {
+        matches!(
+            self.rpc(node, "shutdown", &Request::Shutdown),
+            Ok(Response::ShuttingDown)
+        )
+    }
+
+    /// Declare a node failed: remove it from the membership ring and return
+    /// the key-space takeover describing which neighbours inherit its range —
+    /// the same contract as the simulator's `fail_node`.  The caller feeds
+    /// the takeover to `PeerStripe::handle_node_failure` to drive recovery.
+    pub fn mark_failed(&mut self, node: NodeRef) -> Option<Takeover> {
+        let id = self.ids.get(&node).copied()?;
+        let takeover = self.ring.takeover_on_failure(id);
+        self.ring.remove(id)?;
+        lock(&self.conns).remove(&node);
+        lock(&self.reports).remove(&node);
+        takeover
+    }
+
+    /// Snapshot of the per-RPC telemetry.
+    pub fn export_metrics(&self) -> RegistryExport {
+        lock(&self.metrics).export()
+    }
+
+    /// Merge the gateway's telemetry into another registry.
+    pub fn merge_metrics_into(&self, target: &mut MetricsRegistry) {
+        target.merge(&lock(&self.metrics));
+    }
+
+    /// Total RPCs issued, across operations (for quick report lines).
+    pub fn rpc_count(&self) -> u64 {
+        let metrics = lock(&self.metrics);
+        self.handles
+            .values()
+            .map(|h| metrics.counter_value(h.total))
+            .sum()
+    }
+}
+
+impl ClusterView for RingGateway {
+    fn route_quiet(&self, key: Id) -> Option<NodeRef> {
+        self.ring.route(key).map(|(_, node)| node)
+    }
+
+    fn is_alive(&self, node: NodeRef) -> bool {
+        self.ids
+            .get(&node)
+            .is_some_and(|id| self.ring.contains(*id))
+    }
+
+    fn can_store(&self, node: NodeRef, size: ByteSize) -> bool {
+        if !self.is_alive(node) {
+            return false;
+        }
+        match self.capacity_rpc(node) {
+            Some(free) => size <= free,
+            None => false,
+        }
+    }
+
+    fn report_of(&self, node: NodeRef) -> ByteSize {
+        if !self.is_alive(node) {
+            return ByteSize::ZERO;
+        }
+        if let Some(cached) = lock(&self.reports).get(&node).copied() {
+            return cached;
+        }
+        self.capacity_rpc(node).unwrap_or(ByteSize::ZERO)
+    }
+
+    fn node_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn alive_nodes(&self) -> Vec<NodeRef> {
+        self.ring.iter().map(|(_, node)| node).collect()
+    }
+}
+
+impl ProbeView for RingGateway {
+    fn probe(&mut self, key: Id) -> Option<(NodeRef, ByteSize)> {
+        let (_, node) = self.ring.route(key)?;
+        let free = self.capacity_rpc(node)?;
+        Some((node, free))
+    }
+}
+
+impl StorageBackend for RingGateway {
+    fn route_lookup(&mut self, key: Id) -> Option<NodeRef> {
+        self.ring.route(key).map(|(_, node)| node)
+    }
+
+    fn store_block(
+        &mut self,
+        node: NodeRef,
+        key: Id,
+        name: ObjectName,
+        size: ByteSize,
+        payload: Option<Vec<u8>>,
+    ) -> Result<NodeRef, ClusterStoreError> {
+        if !self.is_alive(node) {
+            return Err(ClusterStoreError::NoLiveNodes);
+        }
+        match self.rpc(
+            node,
+            "store_block",
+            &Request::StoreBlock {
+                key,
+                name,
+                size,
+                payload,
+            },
+        ) {
+            Ok(Response::Stored) => Ok(node),
+            Ok(Response::Error(RemoteError::InsufficientSpace)) => Err(ClusterStoreError::Refused(
+                NodeStoreError::InsufficientSpace,
+            )),
+            Ok(Response::Error(RemoteError::AlreadyStored)) => {
+                Err(ClusterStoreError::Refused(NodeStoreError::AlreadyStored))
+            }
+            // A transport failure or protocol surprise reads as the node
+            // being unreachable.
+            Ok(_) | Err(_) => Err(ClusterStoreError::NoLiveNodes),
+        }
+    }
+
+    fn fetch_block(&self, node: NodeRef, name: &ObjectName) -> Option<FetchedBlock> {
+        if !self.is_alive(node) {
+            return None;
+        }
+        match self.rpc(
+            node,
+            "fetch_block",
+            &Request::FetchBlock { name: name.clone() },
+        ) {
+            Ok(Response::Block {
+                block: Some((size, payload)),
+            }) => Some(FetchedBlock { size, payload }),
+            _ => None,
+        }
+    }
+
+    fn rollback_block(&mut self, node: NodeRef, name: &ObjectName, size: ByteSize) {
+        if !self.is_alive(node) {
+            return;
+        }
+        let _ = self.rpc(
+            node,
+            "remove_block",
+            &Request::RemoveBlock {
+                name: name.clone(),
+                size,
+            },
+        );
+    }
+
+    fn replica_targets(&self, key: Id, k: usize) -> Vec<(Id, NodeRef)> {
+        self.ring.k_closest(key, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeConfig, NodeService};
+    use crate::server::{NodeServer, RunningNode, ServerConfig};
+
+    fn ring_of(n: usize) -> (Vec<RunningNode>, RingGateway) {
+        let mut nodes = Vec::new();
+        let mut endpoints = Vec::new();
+        for i in 0..n {
+            let name = format!("node-{i}");
+            let service = NodeService::new(&NodeConfig::named(&name, ByteSize::mb(64)));
+            let running = NodeServer::bind("127.0.0.1:0", service, ServerConfig::default())
+                .unwrap()
+                .spawn();
+            endpoints.push(NodeEndpoint {
+                node: i,
+                id: Id::hash(&name),
+                addr: running.local_addr(),
+            });
+            nodes.push(running);
+        }
+        let gateway = RingGateway::connect(&endpoints, GatewayConfig::default());
+        (nodes, gateway)
+    }
+
+    #[test]
+    fn gateway_round_trips_blocks_through_live_daemons() {
+        let (nodes, mut gw) = ring_of(4);
+        let name = ObjectName::block("f", 0, 0);
+        let node = gw.route_lookup(name.key()).unwrap();
+        gw.store_block(
+            node,
+            name.key(),
+            name.clone(),
+            ByteSize::mb(1),
+            Some(vec![1, 2, 3]),
+        )
+        .unwrap();
+        let fetched = gw.fetch_block(node, &name).unwrap();
+        assert_eq!(fetched.size, ByteSize::mb(1));
+        assert_eq!(fetched.payload.as_deref(), Some(&[1u8, 2, 3][..]));
+        gw.rollback_block(node, &name, ByteSize::mb(1));
+        assert!(gw.fetch_block(node, &name).is_none());
+        for n in nodes {
+            n.stop().unwrap();
+        }
+    }
+
+    #[test]
+    fn probe_reaches_the_daemon_and_caches_the_report() {
+        let (nodes, mut gw) = ring_of(3);
+        let key = Id::hash("some-key");
+        let (node, free) = gw.probe(key).unwrap();
+        assert_eq!(free, ByteSize::mb(64));
+        assert_eq!(gw.report_of(node), ByteSize::mb(64));
+        assert!(gw.can_store(node, ByteSize::mb(1)));
+        assert!(!gw.can_store(node, ByteSize::gb(1)));
+        for n in nodes {
+            n.stop().unwrap();
+        }
+    }
+
+    #[test]
+    fn mark_failed_removes_the_node_and_yields_a_takeover() {
+        let (nodes, mut gw) = ring_of(4);
+        assert_eq!(gw.alive_nodes().len(), 4);
+        let takeover = gw.mark_failed(2).unwrap();
+        assert_eq!(takeover.failed, Id::hash("node-2"));
+        assert!(!gw.is_alive(2));
+        assert_eq!(gw.alive_nodes().len(), 3);
+        assert_eq!(gw.node_count(), 4);
+        // Routing never lands on the failed node now.
+        for i in 0..32 {
+            let n = gw.route_quiet(Id::hash(&format!("k{i}"))).unwrap();
+            assert_ne!(n, 2);
+        }
+        for n in nodes {
+            n.stop().unwrap();
+        }
+    }
+
+    #[test]
+    fn dead_nodes_fail_rpcs_gracefully() {
+        let (mut nodes, mut gw) = ring_of(3);
+        // Kill node 1's server for real, without telling the gateway.
+        nodes.remove(1).stop().unwrap();
+        assert!(!gw.ping(1));
+        assert!(!gw.can_store(1, ByteSize::kb(1)));
+        let name = ObjectName::block("f", 0, 0);
+        assert!(gw
+            .store_block(1, name.key(), name.clone(), ByteSize::kb(1), None)
+            .is_err());
+        assert!(gw.fetch_block(1, &name).is_none());
+        // Errors were counted.
+        let export = gw.export_metrics();
+        let errs: u64 = export
+            .counters
+            .iter()
+            .filter(|c| c.name == "gateway_rpc_errors")
+            .map(|c| c.value)
+            .sum();
+        assert!(errs >= 2, "expected error counters, got {errs}");
+        for n in nodes {
+            n.stop().unwrap();
+        }
+    }
+
+    #[test]
+    fn rpc_metrics_accumulate_counts_and_latency() {
+        let (nodes, gw) = ring_of(2);
+        assert!(gw.ping(0));
+        assert!(gw.ping(0));
+        assert!(gw.ping(1));
+        let export = gw.export_metrics();
+        let ping_total = export
+            .counters
+            .iter()
+            .find(|c| c.name == "gateway_rpc_total" && c.labels.iter().any(|l| l.1 == "ping"))
+            .map(|c| c.value);
+        assert_eq!(ping_total, Some(3));
+        let hist = export
+            .histograms
+            .iter()
+            .find(|h| h.name == "gateway_rpc_latency_ms" && h.labels.iter().any(|l| l.1 == "ping"))
+            .expect("ping latency histogram");
+        assert_eq!(hist.count, 3);
+        assert_eq!(gw.rpc_count(), 3);
+        for n in nodes {
+            n.stop().unwrap();
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The per-node daemon's service logic: a [`NodeService`] owns one
+//! [`StorageNode`] — the same node-local store the simulator gives every
+//! cluster member — and answers the wire protocol's requests against it.
+//!
+//! Keeping the service separate from the TCP plumbing means the exact same
+//! request handling is exercised in-process by unit tests and over real
+//! sockets by the daemon.
+
+use crate::protocol::{RemoteError, RepairBlock, Request, Response};
+use peerstripe_core::{NodeStoreError, StoredObject};
+use peerstripe_overlay::Id;
+use peerstripe_sim::ByteSize;
+
+/// Configuration of one node daemon.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// The node's overlay identifier.
+    pub id: Id,
+    /// Contributed capacity.
+    pub capacity: ByteSize,
+    /// Fraction of free space a `getCapacity` reply advertises (Section 4.3).
+    pub report_fraction: f64,
+}
+
+impl NodeConfig {
+    /// A node named by hashing `name` into the id space — the convention the
+    /// localhost ring harness and the daemon CLI share, so a gateway can
+    /// recompute every daemon's id from its index.
+    pub fn named(name: &str, capacity: ByteSize) -> Self {
+        NodeConfig {
+            id: Id::hash(name),
+            capacity,
+            report_fraction: 1.0,
+        }
+    }
+}
+
+/// The request handler a daemon serves: one node's storage and identity.
+#[derive(Debug)]
+pub struct NodeService {
+    id: Id,
+    store: peerstripe_core::StorageNode,
+}
+
+impl NodeService {
+    /// Create a service with an empty store.
+    pub fn new(config: &NodeConfig) -> Self {
+        NodeService {
+            id: config.id,
+            store: peerstripe_core::StorageNode::new(config.capacity, config.report_fraction, true),
+        }
+    }
+
+    /// The node's overlay identifier.
+    pub fn id(&self) -> Id {
+        self.id
+    }
+
+    /// The node's store (for inspection in tests and reports).
+    pub fn store(&self) -> &peerstripe_core::StorageNode {
+        &self.store
+    }
+
+    /// Answer one request.  Never fails: malformed or refused operations
+    /// produce typed [`Response::Error`] replies.
+    pub fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Ping => Response::Pong { node: self.id },
+            Request::GetCapacity => Response::Capacity {
+                free: self.store.report_capacity(),
+            },
+            Request::StoreBlock {
+                key,
+                name,
+                size,
+                payload,
+            } => match self.store.store(
+                key,
+                StoredObject {
+                    name,
+                    size,
+                    payload,
+                },
+            ) {
+                Ok(()) => Response::Stored,
+                Err(NodeStoreError::InsufficientSpace) => {
+                    Response::Error(RemoteError::InsufficientSpace)
+                }
+                Err(NodeStoreError::AlreadyStored) => Response::Error(RemoteError::AlreadyStored),
+            },
+            Request::FetchBlock { name } => Response::Block {
+                block: self
+                    .store
+                    .get(name.key())
+                    .map(|obj| (obj.size, obj.payload.clone())),
+            },
+            Request::RepairRead { file, chunk } => {
+                let blocks = self
+                    .store
+                    .objects()
+                    .filter(|(_, obj)| {
+                        obj.name.file() == file && obj.name.chunk_no() == Some(chunk)
+                    })
+                    .map(|(_, obj)| RepairBlock {
+                        name: obj.name.clone(),
+                        size: obj.size,
+                        payload: obj.payload.clone(),
+                    })
+                    .collect();
+                Response::RepairBlocks { blocks }
+            }
+            Request::RemoveBlock { name, size } => {
+                if self.store.remove(name.key()).is_none() {
+                    self.store.release(size);
+                }
+                Response::Removed
+            }
+            // The server layer intercepts Shutdown before dispatch; answering
+            // here keeps the service total.
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peerstripe_core::ObjectName;
+
+    fn service() -> NodeService {
+        NodeService::new(&NodeConfig::named("node-0", ByteSize::mb(10)))
+    }
+
+    #[test]
+    fn capacity_store_fetch_remove_cycle() {
+        let mut svc = service();
+        assert_eq!(
+            svc.handle(Request::GetCapacity),
+            Response::Capacity {
+                free: ByteSize::mb(10)
+            }
+        );
+        let name = ObjectName::block("f", 0, 1);
+        let store = Request::StoreBlock {
+            key: name.key(),
+            name: name.clone(),
+            size: ByteSize::mb(2),
+            payload: Some(vec![5, 6]),
+        };
+        assert_eq!(svc.handle(store.clone()), Response::Stored);
+        assert_eq!(
+            svc.handle(store),
+            Response::Error(RemoteError::AlreadyStored)
+        );
+        assert_eq!(
+            svc.handle(Request::FetchBlock { name: name.clone() }),
+            Response::Block {
+                block: Some((ByteSize::mb(2), Some(vec![5, 6])))
+            }
+        );
+        assert_eq!(
+            svc.handle(Request::RemoveBlock {
+                name: name.clone(),
+                size: ByteSize::mb(2)
+            }),
+            Response::Removed
+        );
+        assert_eq!(
+            svc.handle(Request::FetchBlock { name }),
+            Response::Block { block: None }
+        );
+        assert_eq!(svc.store().used(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn oversized_store_is_refused_with_a_typed_error() {
+        let mut svc = service();
+        let name = ObjectName::block("f", 0, 0);
+        assert_eq!(
+            svc.handle(Request::StoreBlock {
+                key: name.key(),
+                name,
+                size: ByteSize::mb(100),
+                payload: None,
+            }),
+            Response::Error(RemoteError::InsufficientSpace)
+        );
+    }
+
+    #[test]
+    fn repair_read_returns_exactly_the_chunks_blocks() {
+        let mut svc = service();
+        for (file, chunk, ecb) in [("f", 0, 0), ("f", 0, 1), ("f", 1, 0), ("g", 0, 0)] {
+            let name = ObjectName::block(file, chunk, ecb);
+            svc.handle(Request::StoreBlock {
+                key: name.key(),
+                name,
+                size: ByteSize::kb(1),
+                payload: Some(vec![ecb as u8]),
+            });
+        }
+        let resp = svc.handle(Request::RepairRead {
+            file: "f".to_string(),
+            chunk: 0,
+        });
+        let Response::RepairBlocks { blocks } = resp else {
+            panic!("expected RepairBlocks");
+        };
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.iter().all(|b| b.name.file() == "f"));
+    }
+
+    #[test]
+    fn rollback_of_an_unknown_object_releases_reserved_space() {
+        let mut svc = service();
+        // Reserve space as an untracked charge, then roll it back by size.
+        let name = ObjectName::block("f", 0, 0);
+        svc.handle(Request::StoreBlock {
+            key: name.key(),
+            name: name.clone(),
+            size: ByteSize::mb(1),
+            payload: None,
+        });
+        svc.handle(Request::RemoveBlock {
+            name: ObjectName::block("other", 0, 0),
+            size: ByteSize::mb(1),
+        });
+        assert_eq!(svc.store().used(), ByteSize::ZERO);
+    }
+}

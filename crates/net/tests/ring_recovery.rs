@@ -1,0 +1,154 @@
+//! End-to-end networked deployment test: the acceptance path of the
+//! networked subsystem.
+//!
+//! Spawns eight real `peerstripe-node` daemon processes on localhost, stores
+//! a file through the unchanged `PeerStripe` client + placement + erasure
+//! stack over the TCP gateway, kills one daemon with a real signal, reads
+//! the file back degraded, runs the repair path, and reads it again.
+
+use peerstripe_core::{CodingPolicy, PeerStripe, PeerStripeConfig};
+use peerstripe_net::{GatewayConfig, LocalRing, RingGateway};
+use peerstripe_overlay::NodeRef;
+use peerstripe_placement::ClusterView;
+use peerstripe_sim::{ByteSize, DetRng};
+use std::path::Path;
+
+const NODES: usize = 8;
+const FILE: &str = "trace/alpha.bin";
+
+fn spawn_ring() -> LocalRing {
+    let bin = Path::new(env!("CARGO_BIN_EXE_peerstripe-node"));
+    LocalRing::spawn(bin, NODES, ByteSize::mb(64)).expect("spawning localhost daemons")
+}
+
+fn client(ring: &LocalRing) -> PeerStripe<RingGateway> {
+    let gateway = ring.gateway(GatewayConfig::default());
+    PeerStripe::new(
+        gateway,
+        PeerStripeConfig {
+            // 5+3 Reed-Solomon: every chunk spreads over all 8 nodes, so any
+            // single kill loses exactly one block per chunk and stays three
+            // losses inside the recovery margin.
+            coding: CodingPolicy::ReedSolomon { data: 5, parity: 3 },
+            ..PeerStripeConfig::default()
+        },
+    )
+}
+
+fn test_bytes(len: usize) -> Vec<u8> {
+    let mut rng = DetRng::new(42);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+#[test]
+fn file_survives_a_real_node_kill_via_degraded_read_and_repair() {
+    let mut ring = spawn_ring();
+    let mut client = client(&ring);
+    let data = test_bytes(256 * 1024);
+
+    assert!(client.store_data(FILE, &data).is_stored());
+    assert_eq!(client.retrieve_data(FILE).as_deref(), Some(&data[..]));
+
+    // Kill a daemon that actually holds blocks of the file (overlay-random
+    // placement need not touch every node). The gateway still routes to it
+    // until the failure is declared.
+    let manifest = client.manifest(FILE).expect("manifests are tracked");
+    let victim: NodeRef = (0..NODES)
+        .find(|&n| {
+            manifest
+                .chunks
+                .iter()
+                .any(|c| c.blocks_on(n).next().is_some())
+        })
+        .expect("at least one node holds a block");
+    ring.kill(victim).expect("killing the victim daemon");
+    assert!(!ring.is_running(victim));
+
+    // Degraded read: fetches to the dead node fail over TCP, and the erasure
+    // decoder reconstructs every chunk from the surviving blocks.
+    assert_eq!(
+        client.retrieve_data(FILE).as_deref(),
+        Some(&data[..]),
+        "degraded read with one daemon down"
+    );
+
+    // Declare the failure and run the repair path: lost blocks are
+    // regenerated from survivors and re-placed on live daemons.
+    let takeover = client
+        .backend_mut()
+        .mark_failed(victim)
+        .expect("victim was a ring member");
+    let report = client.handle_node_failure(victim, &takeover);
+    assert_eq!(report.chunks_lost, 0, "no chunk may be unrecoverable");
+    assert!(
+        report.blocks_regenerated > 0,
+        "the victim held blocks, so repair must regenerate some"
+    );
+
+    // Post-repair the file reads back whole, and availability agrees.
+    assert_eq!(client.retrieve_data(FILE).as_deref(), Some(&data[..]));
+    assert!(client.is_file_available(FILE));
+
+    // The gateway's telemetry saw the whole story: store/fetch RPCs plus the
+    // errors from talking to the killed daemon.
+    let export = client.backend().export_metrics();
+    let fetches: u64 = export
+        .counters
+        .iter()
+        .filter(|c| {
+            c.name == "gateway_rpc_total"
+                && c.labels
+                    .iter()
+                    .any(|(k, v)| k == "op" && v == "fetch_block")
+        })
+        .map(|c| c.value)
+        .sum();
+    let errors: u64 = export
+        .counters
+        .iter()
+        .filter(|c| c.name == "gateway_rpc_errors")
+        .map(|c| c.value)
+        .sum();
+    assert!(fetches > 0, "fetch RPCs must be counted");
+    assert!(errors > 0, "RPCs against the killed daemon must be counted");
+}
+
+#[test]
+fn surviving_daemons_hold_the_regenerated_bytes() {
+    let mut ring = spawn_ring();
+    let mut client = client(&ring);
+    let data = test_bytes(64 * 1024);
+
+    assert!(client.store_data(FILE, &data).is_stored());
+    let victim: NodeRef = 0;
+    ring.kill(victim).expect("killing the victim daemon");
+    let takeover = client.backend_mut().mark_failed(victim).unwrap();
+    client.handle_node_failure(victim, &takeover);
+
+    // A fresh gateway over only the survivors (no state carried over) can
+    // still assemble the file: the regenerated blocks live on real daemons,
+    // not in any client-side cache.
+    let survivors: Vec<_> = ring
+        .endpoints()
+        .into_iter()
+        .filter(|e| e.node != victim)
+        .collect();
+    drop(client);
+    let fresh = RingGateway::connect(&survivors, GatewayConfig::default());
+    let mut live = 0;
+    let mut free_total = ByteSize::ZERO;
+    for e in &survivors {
+        if fresh.ping(e.node) {
+            live += 1;
+        }
+        free_total = free_total.saturating_add(fresh.report_of(e.node));
+    }
+    assert_eq!(live, NODES - 1);
+    // With nothing stored the survivors would report their full contributed
+    // capacity; the stored + regenerated blocks eat into it.
+    let full = ByteSize::mb(64 * (NODES as u64 - 1));
+    assert!(
+        free_total < full,
+        "survivors must hold block bytes ({free_total} free of {full})"
+    );
+}

@@ -1,0 +1,212 @@
+//! Property-based tests over the framed wire format: arbitrary payloads must
+//! round-trip exactly, and corrupted frames — truncations, oversized length
+//! fields, unknown kind bytes — must be rejected with typed errors rather
+//! than panics or mis-parses.
+
+use peerstripe_core::ObjectName;
+use peerstripe_net::protocol::{
+    kind, read_request, read_response, write_request, write_response, HEADER_LEN, MAGIC,
+};
+use peerstripe_net::{RemoteError, RepairBlock, Request, Response, WireError, MAX_FRAME, VERSION};
+use peerstripe_overlay::Id;
+use peerstripe_sim::ByteSize;
+use proptest::prelude::*;
+
+/// Encode a request to bytes.
+fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_request(&mut buf, req).expect("encoding a well-formed request");
+    buf
+}
+
+/// Encode a response to bytes.
+fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_response(&mut buf, resp).expect("encoding a well-formed response");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// StoreBlock requests round-trip through the wire format for arbitrary
+    /// names, keys, sizes, and payload bytes.
+    #[test]
+    fn store_block_round_trips_arbitrary_payloads(
+        file in "[a-z]{1,12}",
+        chunk in 0u32..64,
+        ecb in 0u32..64,
+        key in any::<u128>(),
+        size in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..4096),
+        with_payload in any::<bool>(),
+    ) {
+        let req = Request::StoreBlock {
+            key: Id(key),
+            name: ObjectName::block(file, chunk, ecb),
+            size: ByteSize::bytes(size),
+            payload: with_payload.then_some(payload),
+        };
+        let bytes = encode_request(&req);
+        prop_assert_eq!(read_request(&mut bytes.as_slice()).unwrap(), req);
+    }
+
+    /// Block responses round-trip: found/missing, with and without payload
+    /// bytes, for arbitrary contents.
+    #[test]
+    fn block_responses_round_trip_arbitrary_payloads(
+        size in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..4096),
+        shape in 0u8..3,
+    ) {
+        let resp = Response::Block {
+            block: match shape {
+                0 => None,
+                1 => Some((ByteSize::bytes(size), None)),
+                _ => Some((ByteSize::bytes(size), Some(payload))),
+            },
+        };
+        let bytes = encode_response(&resp);
+        prop_assert_eq!(read_response(&mut bytes.as_slice()).unwrap(), resp);
+    }
+
+    /// RepairBlocks responses carry several blocks' payloads concatenated in
+    /// one frame and must reassemble them at the declared boundaries.
+    #[test]
+    fn repair_blocks_round_trip_multi_payload_frames(
+        file in "[a-z]{1,8}",
+        chunk in 0u32..16,
+        lens in proptest::collection::vec(0usize..512, 0..8),
+        fill in any::<u8>(),
+    ) {
+        let blocks: Vec<RepairBlock> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| RepairBlock {
+                name: ObjectName::block(file.clone(), chunk, i as u32),
+                size: ByteSize::bytes(len as u64),
+                payload: Some(vec![fill.wrapping_add(i as u8); len]),
+            })
+            .collect();
+        let resp = Response::RepairBlocks { blocks };
+        let bytes = encode_response(&resp);
+        prop_assert_eq!(read_response(&mut bytes.as_slice()).unwrap(), resp);
+    }
+
+    /// Every prefix of a valid frame shorter than the whole is a truncation
+    /// and must fail as a transport error, never parse or panic.
+    #[test]
+    fn truncated_frames_are_transport_errors(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        cut_seed in any::<u64>(),
+    ) {
+        let name = ObjectName::block("t", 0, 0);
+        let req = Request::StoreBlock {
+            key: name.key(),
+            name,
+            size: ByteSize::kb(1),
+            payload: Some(payload),
+        };
+        let bytes = encode_request(&req);
+        let cut = (cut_seed as usize) % (bytes.len() - 1) + 1; // 1..len
+        let err = read_request(&mut bytes[..cut].to_vec().as_slice()).unwrap_err();
+        prop_assert!(err.is_transport(), "cut at {} gave {:?}", cut, err);
+    }
+
+    /// A header whose combined length fields exceed MAX_FRAME is rejected
+    /// before any body allocation, whatever the excess.
+    #[test]
+    fn oversized_length_fields_are_rejected(
+        meta_len in 0u32..u32::MAX,
+        payload_len in 0u32..u32::MAX,
+        kind_byte in 1u8..8,
+    ) {
+        let total = meta_len as u64 + payload_len as u64;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC.to_le_bytes());
+        header.push(VERSION);
+        header.push(kind_byte);
+        header.extend_from_slice(&meta_len.to_le_bytes());
+        header.extend_from_slice(&payload_len.to_le_bytes());
+        let result = read_request(&mut header.as_slice());
+        if total > MAX_FRAME {
+            prop_assert!(
+                matches!(result, Err(WireError::Oversized(n)) if n == total),
+                "lengths {}+{} gave {:?}", meta_len, payload_len, result
+            );
+        } else if total > 0 {
+            // In-bounds lengths with a truncated body are a transport error.
+            prop_assert!(result.unwrap_err().is_transport());
+        }
+    }
+
+    /// Unknown kind bytes are a typed protocol error on both decode paths,
+    /// and response kinds never parse as requests (or vice versa).
+    #[test]
+    fn unknown_and_mismatched_kinds_are_typed_errors(kind_byte in any::<u8>()) {
+        let request_kinds = [
+            kind::PING, kind::GET_CAPACITY, kind::STORE_BLOCK, kind::FETCH_BLOCK,
+            kind::REPAIR_READ, kind::REMOVE_BLOCK, kind::SHUTDOWN,
+        ];
+        let response_kinds = [
+            kind::PONG, kind::CAPACITY, kind::STORED, kind::BLOCK,
+            kind::REPAIR_BLOCKS, kind::REMOVED, kind::SHUTTING_DOWN, kind::ERROR,
+        ];
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC.to_le_bytes());
+        header.push(VERSION);
+        header.push(kind_byte);
+        header.extend_from_slice(&0u32.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        if !request_kinds.contains(&kind_byte) {
+            let err = read_request(&mut header.as_slice()).unwrap_err();
+            prop_assert!(
+                matches!(err, WireError::UnknownKind(k) if k == kind_byte)
+                    || matches!(err, WireError::Body(_)),
+                "request decode of kind {:#x} gave {:?}", kind_byte, err
+            );
+        }
+        if !response_kinds.contains(&kind_byte) {
+            let err = read_response(&mut header.as_slice()).unwrap_err();
+            prop_assert!(
+                matches!(err, WireError::UnknownKind(k) if k == kind_byte)
+                    || matches!(err, WireError::Body(_)),
+                "response decode of kind {:#x} gave {:?}", kind_byte, err
+            );
+        }
+    }
+
+    /// Flipping the magic or version byte of a valid frame yields the
+    /// matching typed error, decided before the body is read.
+    #[test]
+    fn corrupted_headers_fail_with_the_right_variant(
+        bad_magic in any::<u16>(),
+        bad_version in any::<u8>(),
+    ) {
+        let mut bytes = encode_request(&Request::Ping);
+        if bad_magic != MAGIC {
+            let mut corrupted = bytes.clone();
+            corrupted[0..2].copy_from_slice(&bad_magic.to_le_bytes());
+            let err = read_request(&mut corrupted.as_slice()).unwrap_err();
+            prop_assert!(matches!(err, WireError::BadMagic(m) if m == bad_magic));
+        }
+        if bad_version != VERSION {
+            bytes[2] = bad_version;
+            let err = read_request(&mut bytes.as_slice()).unwrap_err();
+            prop_assert!(matches!(err, WireError::Version(v) if v == bad_version));
+        }
+    }
+
+    /// Error responses round-trip their typed remote error, including the
+    /// free-form detail string.
+    #[test]
+    fn error_responses_round_trip(detail in "[ -~]{0,120}", which in 0u8..3) {
+        let resp = Response::Error(match which {
+            0 => RemoteError::InsufficientSpace,
+            1 => RemoteError::AlreadyStored,
+            _ => RemoteError::BadRequest { detail },
+        });
+        let bytes = encode_response(&resp);
+        prop_assert_eq!(read_response(&mut bytes.as_slice()).unwrap(), resp);
+    }
+}

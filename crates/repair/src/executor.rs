@@ -11,7 +11,7 @@
 //! and place the replacement payloads.
 
 use peerstripe_core::client::{pack_payload, unpack_payload};
-use peerstripe_core::{BlockPlacement, ChunkPlacement, CodingPolicy, ObjectName, StorageCluster};
+use peerstripe_core::{BlockPlacement, ChunkPlacement, CodingPolicy, ObjectName, StorageBackend};
 use peerstripe_erasure::{DecodeError, EncodedBlock, ErasureCode};
 use peerstripe_overlay::NodeRef;
 use peerstripe_placement::{OverlayRandom, PlacementStrategy, RepairRequest, Topology};
@@ -44,14 +44,17 @@ impl RegenerationExecutor {
     }
 
     /// Gather the codec blocks of `chunk` that live nodes still serve.
-    pub fn surviving_blocks(
+    ///
+    /// Generic over [`StorageBackend`], so the same regeneration code pulls
+    /// survivors from the in-process simulator or live TCP daemons.
+    pub fn surviving_blocks<B: StorageBackend>(
         &self,
-        cluster: &StorageCluster,
+        backend: &B,
         chunk: &ChunkPlacement,
     ) -> Vec<EncodedBlock> {
         let mut blocks = Vec::new();
         for placement in &chunk.blocks {
-            if let Some(object) = cluster.fetch_from(placement.node, &placement.name) {
+            if let Some(object) = backend.fetch_block(placement.node, &placement.name) {
                 if let Some(payload) = &object.payload {
                     blocks.extend(unpack_payload(payload));
                 }
@@ -66,22 +69,22 @@ impl RegenerationExecutor {
     /// survivors are insufficient — including `NotEnoughBlocks` when every
     /// holder is gone.  `Ok(None)` means nothing is missing, or the deployment
     /// is placement-only (live holders exist but carry no payloads).
-    pub fn rebuild_missing(
+    pub fn rebuild_missing<B: StorageBackend>(
         &self,
-        cluster: &StorageCluster,
+        backend: &B,
         chunk: &ChunkPlacement,
     ) -> Result<Option<Vec<u8>>, DecodeError> {
         let mut any_object = false;
         for placement in &chunk.blocks {
-            if cluster
-                .fetch_from(placement.node, &placement.name)
+            if backend
+                .fetch_block(placement.node, &placement.name)
                 .is_some()
             {
                 any_object = true;
                 break;
             }
         }
-        let surviving = self.surviving_blocks(cluster, chunk);
+        let surviving = self.surviving_blocks(backend, chunk);
         if surviving.is_empty() {
             // Distinguish "placement-only deployment" (objects reachable but
             // size-only) from "every holder is dead": the latter is a loss the
@@ -111,13 +114,13 @@ impl RegenerationExecutor {
     /// Full byte-level repair of one chunk through the default placement
     /// (oblivious [`OverlayRandom`], no topology).  See
     /// [`RegenerationExecutor::repair_chunk_with`].
-    pub fn repair_chunk(
+    pub fn repair_chunk<B: StorageBackend>(
         &self,
-        cluster: &mut StorageCluster,
+        backend: &mut B,
         chunk: &mut ChunkPlacement,
     ) -> Result<Option<BlockPlacement>, DecodeError> {
         let mut strategy = OverlayRandom::new();
-        self.repair_chunk_with(cluster, chunk, &mut strategy, None)
+        self.repair_chunk_with(backend, chunk, &mut strategy, None)
     }
 
     /// Full byte-level repair of one chunk: rebuild the missing codec blocks
@@ -128,14 +131,14 @@ impl RegenerationExecutor {
     /// new placement and returns it; `Ok(None)` means nothing needed
     /// rebuilding (or the deployment is placement-only, or no eligible target
     /// exists right now — the caller retries later).
-    pub fn repair_chunk_with(
+    pub fn repair_chunk_with<B: StorageBackend>(
         &self,
-        cluster: &mut StorageCluster,
+        backend: &mut B,
         chunk: &mut ChunkPlacement,
         strategy: &mut dyn PlacementStrategy,
         topology: Option<&Topology>,
     ) -> Result<Option<BlockPlacement>, DecodeError> {
-        let Some(payload) = self.rebuild_missing(cluster, chunk)? else {
+        let Some(payload) = self.rebuild_missing(backend, chunk)? else {
             return Ok(None);
         };
         // Name the replacement with a fresh ECB number, as Section 4.4's
@@ -168,7 +171,7 @@ impl RegenerationExecutor {
             .blocks
             .iter()
             .map(|b| b.node)
-            .filter(|&n| cluster.overlay().is_alive(n))
+            .filter(|&n| backend.is_alive(n))
             .collect();
         let domain_cap = if topology.is_some() {
             self.tolerable.max(1)
@@ -183,15 +186,15 @@ impl RegenerationExecutor {
         };
         let mut rng = DetRng::new(key.seed());
         let Some(node) = strategy
-            .repair_targets(&*cluster, topology, &request, &mut rng)
+            .repair_targets(&*backend, topology, &request, &mut rng)
             .into_iter()
             .next()
         else {
             // No eligible live node with space right now; the caller retries.
             return Ok(None);
         };
-        if cluster
-            .store_object_at(node, key, name.clone(), size, Some(payload))
+        if backend
+            .store_block(node, key, name.clone(), size, Some(payload))
             .is_err()
         {
             return Ok(None);

@@ -27,7 +27,8 @@ pub mod profile;
 pub mod trace;
 
 pub use metrics::{
-    CounterHandle, GaugeHandle, Histogram, HistogramHandle, MetricsRegistry, RegistryExport,
+    CounterExport, CounterHandle, GaugeHandle, Histogram, HistogramExport, HistogramHandle,
+    MetricsRegistry, RegistryExport,
 };
 pub use profile::{Phase, PhaseProfiler, ProfToken};
 pub use trace::{

@@ -13,6 +13,8 @@
 //! * [`erasure`](peerstripe_erasure) — Null / XOR / online erasure codes;
 //! * [`placement`](peerstripe_placement) — failure-domain topology & placement strategies;
 //! * [`multicast`](peerstripe_multicast) — RanSub + Bullet replica dissemination;
+//! * [`net`](peerstripe_net) — the networked deployment path: framed wire
+//!   protocol, `peerstripe-node` daemon, and the TCP gateway backend;
 //! * [`trace`](peerstripe_trace) — workload and capacity generators;
 //! * [`baselines`](peerstripe_baselines) — PAST and CFS comparison systems;
 //! * [`gridsim`](peerstripe_gridsim) — the Condor `bigCopy` case study;
@@ -44,6 +46,7 @@ pub use peerstripe_erasure as erasure;
 pub use peerstripe_experiments as experiments;
 pub use peerstripe_gridsim as gridsim;
 pub use peerstripe_multicast as multicast;
+pub use peerstripe_net as net;
 pub use peerstripe_overlay as overlay;
 pub use peerstripe_placement as placement;
 pub use peerstripe_repair as repair;

@@ -260,3 +260,120 @@ fn outage_aware_detection_example_logic() {
     );
     assert!(aware.files_lost <= per_node.files_lost);
 }
+
+/// Smoke test mirroring `examples/network_ring.rs`: store a file through the
+/// TCP gateway against eight live node servers, take one away, and verify
+/// the degraded read and the repair path — the same client/placement/erasure
+/// stack as the simulator, over real sockets.
+///
+/// Uses the real `peerstripe-node` daemon processes when the binary is built
+/// (CI builds it first); otherwise serves the same wire protocol from
+/// in-process TCP servers so the networked logic cannot silently rot.
+#[test]
+fn network_ring_store_kill_recover() {
+    use peerstripe::net::{
+        node_binary, GatewayConfig, LocalRing, NodeConfig, NodeEndpoint, NodeServer, NodeService,
+        RingGateway, ServerConfig,
+    };
+    use peerstripe::overlay::Id;
+
+    const NODES: usize = 8;
+    let capacity = ByteSize::mb(64);
+
+    // Either a ring of real daemon processes or a set of in-process servers;
+    // both serve the same framed protocol on localhost TCP.
+    let mut process_ring: Option<LocalRing> = None;
+    let mut in_process = Vec::new();
+    let endpoints: Vec<NodeEndpoint> = match node_binary() {
+        Some(bin) => {
+            let ring = LocalRing::spawn(&bin, NODES, capacity).expect("spawn daemons");
+            let endpoints = ring.endpoints();
+            process_ring = Some(ring);
+            endpoints
+        }
+        None => (0..NODES)
+            .map(|i| {
+                let name = format!("node-{i}");
+                let service = NodeService::new(&NodeConfig::named(&name, capacity));
+                let server = NodeServer::bind("127.0.0.1:0", service, ServerConfig::default())
+                    .expect("bind")
+                    .spawn();
+                let endpoint = NodeEndpoint {
+                    node: i,
+                    id: Id::hash(&name),
+                    addr: server.local_addr(),
+                };
+                in_process.push(server);
+                endpoint
+            })
+            .collect(),
+    };
+
+    let gateway = RingGateway::connect(&endpoints, GatewayConfig::default());
+    let mut storage = PeerStripe::new(
+        gateway,
+        PeerStripeConfig {
+            coding: CodingPolicy::ReedSolomon { data: 5, parity: 3 },
+            ..PeerStripeConfig::default()
+        },
+    );
+
+    let mut rng = DetRng::new(42);
+    let data: Vec<u8> = (0..128 * 1024).map(|_| rng.next_u64() as u8).collect();
+    assert!(storage.store_data("telemetry.parquet", &data).is_stored());
+    assert_eq!(
+        storage.retrieve_data("telemetry.parquet").as_deref(),
+        Some(&data[..])
+    );
+
+    // Take away a node that holds blocks: SIGKILL for the daemon ring,
+    // server stop for the in-process one — either way its port goes dead.
+    let victim = {
+        let manifest = storage.manifest("telemetry.parquet").expect("manifest");
+        (0..NODES)
+            .find(|&n| {
+                manifest
+                    .chunks
+                    .iter()
+                    .any(|c| c.blocks_on(n).next().is_some())
+            })
+            .expect("some node holds a block")
+    };
+    match &mut process_ring {
+        Some(ring) => ring.kill(victim).expect("kill daemon"),
+        None => {
+            // Servers were pushed in node order; stop() severs open
+            // connections and closes the listener.
+            in_process.remove(victim).stop().expect("stop server");
+        }
+    }
+
+    // Degraded read, then declared failure + repair, then a whole read.
+    assert_eq!(
+        storage.retrieve_data("telemetry.parquet").as_deref(),
+        Some(&data[..]),
+        "degraded read with node {victim} gone"
+    );
+    let takeover = storage
+        .backend_mut()
+        .mark_failed(victim)
+        .expect("victim was a member");
+    let report = storage.handle_node_failure(victim, &takeover);
+    assert_eq!(report.chunks_lost, 0);
+    assert!(report.blocks_regenerated > 0);
+    assert_eq!(
+        storage.retrieve_data("telemetry.parquet").as_deref(),
+        Some(&data[..])
+    );
+    assert!(storage.is_file_available("telemetry.parquet"));
+
+    // Every RPC was counted.
+    let export = storage.backend().export_metrics();
+    let total: u64 = export
+        .counters
+        .iter()
+        .filter(|c| c.name == "gateway_rpc_total")
+        .map(|c| c.value)
+        .sum();
+    assert!(total > 0, "gateway telemetry must count RPCs");
+}
