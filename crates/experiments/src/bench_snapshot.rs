@@ -4,8 +4,9 @@
 //!
 //! The snapshots mirror `crates/bench/benches/repair_schedule.rs`,
 //! `detector_decide.rs` and `placement_decide.rs` exactly (same deployment,
-//! same churn, same decide loop) but run each measurement a handful of times
-//! and keep the best —
+//! same churn, same decide loop) — plus a `wire_roundtrip` snapshot covering
+//! the networked path's frame encode/decode — but run each measurement a
+//! handful of times and keep the best —
 //! good enough to catch an order-of-magnitude regression without criterion's
 //! multi-minute statistics.  Numbers are machine-dependent by nature; the
 //! committed files record the machine-independent *shape* (events processed,
@@ -15,7 +16,11 @@
 //! wall time is its whole job.  Nothing here feeds simulation results.
 
 use crate::Scale;
-use peerstripe_core::{ClusterConfig, CodingPolicy, PeerStripe, PeerStripeConfig, StorageSystem};
+use peerstripe_core::{
+    ClusterConfig, CodingPolicy, ObjectName, PeerStripe, PeerStripeConfig, StorageSystem,
+};
+use peerstripe_net::protocol::{read_request_traced, write_request_traced};
+use peerstripe_net::Request;
 use peerstripe_overlay::Id;
 use peerstripe_placement::{RepairRequest, StrategyKind, Topology};
 use peerstripe_repair::{
@@ -343,9 +348,68 @@ pub fn run_placement_decide_snapshot(config: &BenchSnapshotConfig) -> BenchSnaps
     }
 }
 
-/// Run all three snapshots and write them under `dir` as
-/// `BENCH_repair_schedule.json`, `BENCH_detector_decide.json` and
-/// `BENCH_placement_decide.json`.  Returns the written paths.
+/// Wire-frame encode + decode throughput for the networked path's hot
+/// frames: traced `StoreBlock` requests at several payload sizes, plus a
+/// header-only `Ping` control row.  One pass is one traced write into a
+/// reusable in-memory buffer followed by one traced read back — exactly what
+/// `RingGateway::rpc` and the node server do per RPC, minus the socket — so
+/// a regression here (e.g. an extra copy in the meta/rid path) shows up as a
+/// frames-per-second collapse.
+pub fn run_wire_roundtrip_snapshot(config: &BenchSnapshotConfig) -> BenchSnapshot {
+    fn roundtrip_row(id: String, work_units: u64, req: &Request) -> BenchRow {
+        let mut best = 0.0f64;
+        for _ in 0..REPS {
+            let mut buf: Vec<u8> = Vec::with_capacity(512 * 1024);
+            let started = Instant::now();
+            let mut frames = 0u64;
+            while started.elapsed().as_secs_f64() < 0.1 {
+                buf.clear();
+                // lint:allow(panic) -- writing to a Vec cannot fail and the bench frames stay far under MAX_FRAME
+                write_request_traced(&mut buf, req, Some(frames)).expect("in-memory frame write");
+                let mut frame = buf.as_slice();
+                // lint:allow(panic) -- decoding the bytes this bench just encoded cannot fail
+                let (decoded, rid) = read_request_traced(&mut frame).expect("frame read");
+                assert_eq!(rid, Some(frames), "request id must survive the roundtrip");
+                std::hint::black_box(decoded);
+                frames += 1;
+            }
+            best = best.max(frames as f64 / started.elapsed().as_secs_f64());
+        }
+        BenchRow {
+            id,
+            work_units,
+            per_sec: best,
+        }
+    }
+
+    let mut rows = vec![roundtrip_row("ping".to_string(), 0, &Request::Ping)];
+    for kib in [1u64, 16, 256] {
+        let size = ByteSize::kb(kib);
+        let mut rng = DetRng::new(config.seed);
+        let payload: Vec<u8> = (0..size.as_u64()).map(|_| rng.next_u64() as u8).collect();
+        let req = Request::StoreBlock {
+            key: Id::hash("bench-wire/0_0"),
+            name: ObjectName::block("bench-wire", 0, 0),
+            size,
+            payload: Some(payload),
+        };
+        rows.push(roundtrip_row(
+            format!("store_block/{kib}_kib"),
+            size.as_u64(),
+            &req,
+        ));
+    }
+    BenchSnapshot {
+        name: "wire_roundtrip".to_string(),
+        seed: config.seed,
+        rows,
+    }
+}
+
+/// Run all four snapshots and write them under `dir` as
+/// `BENCH_repair_schedule.json`, `BENCH_detector_decide.json`,
+/// `BENCH_placement_decide.json` and `BENCH_wire_roundtrip.json`.  Returns
+/// the written paths.
 pub fn write_snapshots(dir: &Path, config: &BenchSnapshotConfig) -> Result<Vec<PathBuf>, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let mut written = Vec::new();
@@ -353,6 +417,7 @@ pub fn write_snapshots(dir: &Path, config: &BenchSnapshotConfig) -> Result<Vec<P
         run_repair_schedule_snapshot(config),
         run_detector_decide_snapshot(config),
         run_placement_decide_snapshot(config),
+        run_wire_roundtrip_snapshot(config),
     ] {
         let path = dir.join(format!("BENCH_{}.json", snapshot.name));
         std::fs::write(&path, snapshot.render_json())
@@ -461,12 +526,12 @@ pub fn check_repair_schedule(dir: &Path, config: &BenchSnapshotConfig) -> Result
     }
 }
 
-/// Re-measure **all three** committed snapshots — `repair_schedule`,
-/// `detector_decide`, and `placement_decide` — and compare each against its
-/// `BENCH_*.json` under `dir`.  Rows without a committed baseline (e.g. the
-/// 200-node rows of a `--scale small` run against medium-scale baselines)
-/// are reported but skipped; any measured row below [`CHECK_TOLERANCE`] of
-/// its committed throughput fails the check.
+/// Re-measure **all four** committed snapshots — `repair_schedule`,
+/// `detector_decide`, `placement_decide`, and `wire_roundtrip` — and compare
+/// each against its `BENCH_*.json` under `dir`.  Rows without a committed
+/// baseline (e.g. the 200-node rows of a `--scale small` run against
+/// medium-scale baselines) are reported but skipped; any measured row below
+/// [`CHECK_TOLERANCE`] of its committed throughput fails the check.
 pub fn check_snapshots(dir: &Path, config: &BenchSnapshotConfig) -> Result<String, String> {
     let mut report = String::new();
     let mut failures = Vec::new();
@@ -474,6 +539,7 @@ pub fn check_snapshots(dir: &Path, config: &BenchSnapshotConfig) -> Result<Strin
         run_repair_schedule_snapshot(config),
         run_detector_decide_snapshot(config),
         run_placement_decide_snapshot(config),
+        run_wire_roundtrip_snapshot(config),
     ] {
         check_one_snapshot(dir, &fresh, &mut report, &mut failures)?;
     }
@@ -544,6 +610,32 @@ mod tests {
     }
 
     #[test]
+    fn wire_roundtrip_snapshot_covers_ping_and_payload_sizes() {
+        let config = BenchSnapshotConfig {
+            node_counts: vec![50],
+            seed: 7,
+        };
+        let snapshot = run_wire_roundtrip_snapshot(&config);
+        assert_eq!(snapshot.name, "wire_roundtrip");
+        let ids: Vec<_> = snapshot.rows.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "ping",
+                "store_block/1_kib",
+                "store_block/16_kib",
+                "store_block/256_kib"
+            ]
+        );
+        for row in &snapshot.rows {
+            assert!(row.per_sec > 0.0, "{row:?}");
+        }
+        // Bigger payloads cannot roundtrip more frames per second than the
+        // header-only control row.
+        assert!(snapshot.rows[0].per_sec >= snapshot.rows[3].per_sec);
+    }
+
+    #[test]
     fn check_round_trips_a_written_snapshot() {
         let config = BenchSnapshotConfig {
             node_counts: vec![50],
@@ -559,7 +651,7 @@ mod tests {
     }
 
     #[test]
-    fn check_snapshots_gates_all_three_benchmarks() {
+    fn check_snapshots_gates_every_benchmark() {
         let config = BenchSnapshotConfig {
             node_counts: vec![50],
             seed: 7,
@@ -571,6 +663,7 @@ mod tests {
             "repair_schedule/churn_24h/50_nodes",
             "detector_decide/",
             "placement_decide/plan_chunk/overlay-random/50_nodes",
+            "wire_roundtrip/store_block/256_kib",
         ] {
             assert!(report.contains(needle), "missing {needle}:\n{report}");
         }

@@ -26,6 +26,8 @@
 //!   trace-summary           digest a .jsonl trace into causal loss breakdowns
 //!   ring                    spawn localhost peerstripe-node daemons, store and
 //!                           recover a file through a real node kill
+//!   monitor                 scrape a localhost ring's node stats for N rounds
+//!                           and emit a cluster-health report
 //! ```
 
 use peerstripe_experiments::cli::run_experiment_with;
@@ -48,6 +50,8 @@ struct Args {
     check: bool,
     /// `repro trace-summary FILE`: the trailing positional path.
     path: Option<std::path::PathBuf>,
+    /// `repro monitor --rounds N`
+    rounds: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
     let mut profile = false;
     let mut check = false;
     let mut path = None;
+    let mut rounds = 2usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -85,6 +90,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--profile" => profile = true,
             "--check" => check = true,
+            "--rounds" => {
+                let value = args.next().ok_or("--rounds needs a value")?;
+                rounds = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("bad round count '{value}'"))?;
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -106,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
         profile,
         check,
         path,
+        rounds,
     })
 }
 
@@ -116,7 +130,8 @@ fn usage() -> String {
                 repro bench-snapshot [--out DIR] [--scale small|medium|paper] [--seed N] [--check]\n\
                 repro trace [--scenario <{}>] [--scale small|medium|paper] [--seed N] [--profile] [--out DIR]\n\
                 repro trace-summary FILE [--format text|json]\n\
-                repro ring [--scale small|medium|paper] [--seed N] [--format text|json] [--out DIR]",
+                repro ring [--scale small|medium|paper] [--seed N] [--format text|json] [--out DIR]\n\
+                repro monitor [--rounds N] [--scale small|medium|paper] [--seed N] [--format text|json] [--out DIR]",
         peerstripe_experiments::cli::EXPERIMENTS.join("|"),
         peerstripe_experiments::trace_cmd::SCENARIOS.join("|"),
     )
@@ -320,11 +335,76 @@ fn run_ring(args: &Args) -> ! {
         }
         eprintln!("wrote {}", file.display());
     }
-    std::process::exit(if report.recovered && report.chunks_lost == 0 {
-        0
+    if report.unattributed_rpcs > 0 {
+        eprintln!(
+            "repro ring: {} of {} gateway RPCs unattributed (no node op-log entry joins their request id)",
+            report.unattributed_rpcs, report.gateway_rpcs_logged
+        );
+    }
+    std::process::exit(
+        if report.recovered && report.chunks_lost == 0 && report.unattributed_rpcs == 0 {
+            0
+        } else {
+            1
+        },
+    );
+}
+
+/// `repro monitor`: spawn a localhost ring, run a small workload, scrape
+/// every daemon's stats for N rounds, and emit the cluster-health report.
+/// Exits nonzero when any node was unreachable in every round.
+fn run_monitor(args: &Args) -> ! {
+    let mut config =
+        peerstripe_experiments::monitor_cmd::MonitorCmdConfig::at_scale(args.scale, args.seed);
+    config.rounds = args.rounds;
+    eprintln!(
+        "# spawning {} localhost daemons, scraping stats for {} rounds",
+        config.nodes, config.rounds
+    );
+    let report = match peerstripe_experiments::monitor_cmd::run_monitor(&config) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("repro monitor: {msg}");
+            std::process::exit(2);
+        }
+    };
+    if args.json {
+        println!(
+            "{}",
+            peerstripe_experiments::monitor_cmd::render_monitor_json(&report)
+        );
     } else {
-        1
-    });
+        print!(
+            "{}",
+            peerstripe_experiments::monitor_cmd::render_monitor_text(&report)
+        );
+    }
+    if let Some(dir) = &args.out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("repro monitor: create {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        let file = dir.join(format!(
+            "cluster_health_{}_seed{}.json",
+            args.scale, args.seed
+        ));
+        if let Err(e) = std::fs::write(
+            &file,
+            peerstripe_experiments::monitor_cmd::render_monitor_json(&report),
+        ) {
+            eprintln!("repro monitor: write {}: {e}", file.display());
+            std::process::exit(2);
+        }
+        eprintln!("wrote {}", file.display());
+    }
+    if !report.unreachable.is_empty() {
+        eprintln!(
+            "repro monitor: unreachable nodes: {}",
+            report.unreachable.join(" ")
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 /// `repro trace-summary FILE`: digest an existing trace.
@@ -376,6 +456,7 @@ fn main() {
         "trace" => run_trace(&args),
         "trace-summary" => run_trace_summary(&args),
         "ring" => run_ring(&args),
+        "monitor" => run_monitor(&args),
         _ => {}
     }
     println!(

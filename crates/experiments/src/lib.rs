@@ -33,6 +33,7 @@ pub mod bench_snapshot;
 pub mod cli;
 pub mod coding;
 pub mod condor;
+pub mod monitor_cmd;
 pub mod multicast_fig;
 pub mod placement_sweep;
 pub mod repair_sweep;

@@ -1,0 +1,304 @@
+//! `repro monitor` — the cluster-health scrape loop.
+//!
+//! Spawns a localhost ring of real `peerstripe-node` daemons, pushes a small
+//! deterministic workload through the TCP gateway so the scrape has
+//! something to see, then runs a [`ClusterMonitor`] for N rounds and renders
+//! a cluster-health report: per-node reachability, store occupancy, and
+//! per-op request counts with p50/p99 latencies from *both* sides of the
+//! wire — the gateway's client-side histograms and each node's server-side
+//! ones.  Report ordering is deterministic (node order, then op order), so
+//! two reports over identical traffic differ only in measured latencies.
+
+use crate::Scale;
+use peerstripe_core::{CodingPolicy, PeerStripe, PeerStripeConfig};
+use peerstripe_net::{
+    node_binary, ClusterMonitor, GatewayConfig, LocalRing, MonitorConfig, NodeHealth,
+};
+use peerstripe_sim::{ByteSize, DetRng};
+use peerstripe_telemetry::{HistogramExport, RegistryExport};
+use serde::Serialize;
+
+/// Parameters of one `repro monitor` run.
+#[derive(Debug, Clone)]
+pub struct MonitorCmdConfig {
+    /// Number of daemon processes to spawn.
+    pub nodes: usize,
+    /// Contributed capacity per daemon.
+    pub node_capacity: ByteSize,
+    /// Size of the warm-up file stored through the gateway.
+    pub file_size: ByteSize,
+    /// Scrape rounds to run (1 = one-shot).
+    pub rounds: usize,
+    /// Seed for the warm-up file's contents.
+    pub seed: u64,
+}
+
+impl MonitorCmdConfig {
+    /// Ring sizing per scale, matching `repro ring` so the two harnesses
+    /// observe comparable clusters.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let (nodes, file_size) = match scale {
+            Scale::Small => (8, ByteSize::kb(256)),
+            Scale::Medium => (12, ByteSize::mb(1)),
+            Scale::Paper => (16, ByteSize::mb(4)),
+        };
+        MonitorCmdConfig {
+            nodes,
+            node_capacity: ByteSize::mb(64),
+            file_size,
+            rounds: 2,
+            seed,
+        }
+    }
+}
+
+/// One operation's request count and latency quantiles from one vantage.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpLatency {
+    /// Wire operation name.
+    pub op: String,
+    /// Requests observed.
+    pub requests: u64,
+    /// Estimated median latency in milliseconds (bucket upper edge).
+    pub p50_ms: f64,
+    /// Estimated 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// One node's health and server-side op stats.
+#[derive(Debug, Clone, Serialize)]
+pub struct NodeHealthRow {
+    /// Scrape health (live / unreachable / stale, scrape count).
+    pub health: NodeHealth,
+    /// Store occupancy in bytes, from the latest snapshot.
+    pub used_bytes: u64,
+    /// Contributed capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Objects held.
+    pub objects: u64,
+    /// Server-side per-op request counts and latency quantiles.
+    pub ops: Vec<OpLatency>,
+}
+
+/// Everything one `repro monitor` run observed.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterHealthReport {
+    /// Daemons spawned.
+    pub nodes: usize,
+    /// Scrape rounds run.
+    pub rounds: u64,
+    /// Nodes the final round reached.
+    pub reached: usize,
+    /// Names of nodes no round ever reached (nonzero exit).
+    pub unreachable: Vec<String>,
+    /// Names of nodes that answered before but failed their latest scrape.
+    pub stale: Vec<String>,
+    /// Client-side (gateway) per-op latencies over the warm-up workload.
+    pub gateway_ops: Vec<OpLatency>,
+    /// Per-node health and server-side op stats, in node order.
+    pub node_health: Vec<NodeHealthRow>,
+    /// The monitor's merged node-labelled registry export.
+    pub merged_metrics: RegistryExport,
+}
+
+/// Deterministic file contents for `seed`.
+fn file_bytes(size: ByteSize, seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    (0..size.as_u64()).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Per-op latency rows from a registry export's histograms under `name`,
+/// in op order, empty ops dropped.
+fn op_latencies(export: &RegistryExport, name: &str) -> Vec<OpLatency> {
+    let mut rows: Vec<OpLatency> = export
+        .histograms
+        .iter()
+        .filter(|h| h.name == name && h.count > 0)
+        .filter_map(|h| {
+            let op = h.labels.iter().find(|(k, _)| k == "op")?.1.clone();
+            Some(OpLatency {
+                op,
+                requests: h.count,
+                p50_ms: HistogramExport::quantile(h, 0.5),
+                p99_ms: HistogramExport::quantile(h, 0.99),
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| a.op.cmp(&b.op));
+    rows
+}
+
+/// Spawn a ring, run the warm-up workload, scrape it for `rounds`, and
+/// assemble the health report.  Daemons are shut down before returning.
+pub fn run_monitor(config: &MonitorCmdConfig) -> Result<ClusterHealthReport, String> {
+    let bin = node_binary().ok_or_else(|| {
+        "peerstripe-node binary not found; build it with \
+         `cargo build -p peerstripe-net --bin peerstripe-node` \
+         or point PEERSTRIPE_NODE_BIN at it"
+            .to_string()
+    })?;
+    let ring = LocalRing::spawn(&bin, config.nodes, config.node_capacity)
+        .map_err(|e| format!("spawning {} daemons: {e}", config.nodes))?;
+    let gateway = ring.gateway(GatewayConfig::default());
+    let mut client = PeerStripe::new(
+        gateway,
+        PeerStripeConfig {
+            coding: CodingPolicy::ReedSolomon { data: 5, parity: 3 },
+            ..PeerStripeConfig::default()
+        },
+    );
+
+    // Warm-up workload: one store + one fetch, so every scrape shows real
+    // per-op traffic instead of an all-zero ring.
+    let name = "monitor/warmup.bin";
+    let data = file_bytes(config.file_size, config.seed);
+    if !client.store_data(name, &data).is_stored() {
+        return Err("warm-up store failed".to_string());
+    }
+    if client.retrieve_data(name).as_deref() != Some(&data[..]) {
+        return Err("warm-up fetch returned wrong bytes".to_string());
+    }
+
+    let mut monitor = ClusterMonitor::new(&ring.endpoints(), MonitorConfig::default());
+    let mut reached = 0;
+    for _ in 0..config.rounds.max(1) {
+        reached = monitor.scrape_round();
+    }
+
+    let node_health = monitor
+        .health()
+        .into_iter()
+        .map(|health| {
+            let (used_bytes, capacity_bytes, objects, ops) = match monitor.latest(health.node) {
+                Some(stats) => (
+                    stats.used.as_u64(),
+                    stats.capacity.as_u64(),
+                    stats.objects,
+                    op_latencies(&stats.metrics, "node_request_latency_ms"),
+                ),
+                None => (0, 0, 0, Vec::new()),
+            };
+            NodeHealthRow {
+                health,
+                used_bytes,
+                capacity_bytes,
+                objects,
+                ops,
+            }
+        })
+        .collect();
+
+    let report = ClusterHealthReport {
+        nodes: config.nodes,
+        rounds: monitor.rounds(),
+        reached,
+        unreachable: monitor
+            .unreachable()
+            .into_iter()
+            .map(|n| format!("node-{n}"))
+            .collect(),
+        stale: monitor
+            .stale()
+            .into_iter()
+            .map(|n| format!("node-{n}"))
+            .collect(),
+        gateway_ops: op_latencies(&client.backend().export_metrics(), "gateway_rpc_latency_ms"),
+        node_health,
+        merged_metrics: monitor.merged_registry().export(),
+    };
+
+    for e in ring.endpoints() {
+        client.backend().shutdown_node(e.node);
+    }
+    Ok(report)
+}
+
+/// Human-readable report.
+pub fn render_monitor_text(report: &ClusterHealthReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "cluster monitor: {} daemons, {} rounds, {} reached last round\n",
+        report.nodes, report.rounds, report.reached
+    ));
+    if !report.unreachable.is_empty() {
+        out.push_str(&format!(
+            "  UNREACHABLE: {}\n",
+            report.unreachable.join(" ")
+        ));
+    }
+    if !report.stale.is_empty() {
+        out.push_str(&format!("  stale: {}\n", report.stale.join(" ")));
+    }
+    out.push_str("  gateway side:   op             reqs   p50 ms   p99 ms\n");
+    for row in &report.gateway_ops {
+        out.push_str(&format!(
+            "                  {:<14} {:>4}  {:>7.3}  {:>7.3}\n",
+            row.op, row.requests, row.p50_ms, row.p99_ms
+        ));
+    }
+    for node in &report.node_health {
+        let status = if node.health.unreachable {
+            "unreachable"
+        } else if node.health.stale {
+            "stale"
+        } else {
+            "live"
+        };
+        out.push_str(&format!(
+            "  {} [{status}] {} / {} used, {} objects\n",
+            node.health.name,
+            ByteSize::bytes(node.used_bytes),
+            ByteSize::bytes(node.capacity_bytes),
+            node.objects
+        ));
+        for row in &node.ops {
+            out.push_str(&format!(
+                "      {:<14} {:>4}  {:>7.3}  {:>7.3}\n",
+                row.op, row.requests, row.p50_ms, row.p99_ms
+            ));
+        }
+    }
+    out
+}
+
+/// Machine-readable report (the CI artifact).
+pub fn render_monitor_json(report: &ClusterHealthReport) -> String {
+    serde_json::to_string(report).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_run_reaches_every_node_and_reports_both_sides() {
+        if node_binary().is_none() {
+            eprintln!("skipping: peerstripe-node binary not built");
+            return;
+        }
+        let mut config = MonitorCmdConfig::at_scale(Scale::Small, 42);
+        config.rounds = 2;
+        let report = run_monitor(&config).unwrap();
+        assert_eq!(report.reached, config.nodes);
+        assert!(report.unreachable.is_empty());
+        assert!(report.stale.is_empty());
+        assert_eq!(report.rounds, 2);
+        assert_eq!(report.node_health.len(), config.nodes);
+        // Both sides saw the warm-up stores.
+        assert!(report
+            .gateway_ops
+            .iter()
+            .any(|r| r.op == "store_block" && r.requests > 0));
+        assert!(report.node_health.iter().any(|n| n
+            .ops
+            .iter()
+            .any(|r| r.op == "store_block" && r.requests > 0)));
+        // Quantile estimates come from the shared bucket edges.
+        for row in &report.gateway_ops {
+            assert!(row.p50_ms <= row.p99_ms);
+        }
+        let json = render_monitor_json(&report);
+        assert!(json.contains("merged_metrics"), "{json}");
+        assert!(!render_monitor_text(&report).is_empty());
+    }
+}

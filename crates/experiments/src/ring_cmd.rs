@@ -9,11 +9,12 @@
 
 use crate::Scale;
 use peerstripe_core::{CodingPolicy, PeerStripe, PeerStripeConfig};
-use peerstripe_net::{node_binary, GatewayConfig, LocalRing};
+use peerstripe_net::{node_binary, GatewayConfig, LocalRing, NodeStats, RingGateway};
 use peerstripe_overlay::NodeRef;
 use peerstripe_sim::{ByteSize, DetRng};
 use peerstripe_telemetry::{HistogramExport, RegistryExport};
 use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Parameters of one `repro ring` run.
 #[derive(Debug, Clone)]
@@ -59,6 +60,18 @@ pub struct RpcStat {
     pub mean_ms: f64,
 }
 
+/// One daemon's server-side view of the run.
+#[derive(Debug, Clone, Serialize)]
+pub struct NodeSideStats {
+    /// The node's reference.
+    pub node: NodeRef,
+    /// The node's name under the `node-<i>` convention.
+    pub name: String,
+    /// The daemon's own stats snapshot — for the killed victim, the last
+    /// scrape taken before the SIGKILL; for survivors, a post-repair scrape.
+    pub stats: NodeStats,
+}
+
 /// Everything one `repro ring` run measured.
 #[derive(Debug, Clone, Serialize)]
 pub struct RingReport {
@@ -86,6 +99,46 @@ pub struct RingReport {
     pub rpc: Vec<RpcStat>,
     /// Full metrics-registry export (counters + latency histograms).
     pub metrics: RegistryExport,
+    /// Every daemon's server-side stats (victim scraped pre-kill).
+    pub node_stats: Vec<NodeSideStats>,
+    /// RPCs the gateway logged (shutdowns excluded by construction).
+    pub gateway_rpcs_logged: u64,
+    /// Successful gateway RPCs whose request id joins no node op-log entry.
+    /// Must be 0: every RPC is attributed either by a node-side log entry or
+    /// by its own error kind.
+    pub unattributed_rpcs: u64,
+}
+
+/// Scrape `nodes` into `snapshots`, overwriting earlier scrapes per node.
+fn scrape_into(
+    gateway: &RingGateway,
+    nodes: impl Iterator<Item = NodeRef>,
+    snapshots: &mut BTreeMap<NodeRef, NodeStats>,
+) -> Result<(), String> {
+    for node in nodes {
+        let stats = gateway
+            .get_stats(node)
+            .map_err(|e| format!("scraping node {node}: {e}"))?;
+        snapshots.insert(node, stats);
+    }
+    Ok(())
+}
+
+/// Count successful gateway op-log entries whose request id appears in no
+/// node op log — the networked analogue of the unattributed-loss check.
+fn unattributed_count(
+    gateway_log: &[peerstripe_net::OpLogEntry],
+    snapshots: &BTreeMap<NodeRef, NodeStats>,
+) -> u64 {
+    let node_rids: BTreeSet<u64> = snapshots
+        .values()
+        .flat_map(|s| s.op_log.iter().filter_map(|e| e.request_id))
+        .collect();
+    gateway_log
+        .iter()
+        .filter(|e| e.is_ok())
+        .filter(|e| !e.request_id.is_some_and(|r| node_rids.contains(&r)))
+        .count() as u64
 }
 
 /// Milliseconds elapsed while running `f`, paired with its result.
@@ -194,6 +247,11 @@ pub fn run_ring(config: &RingCmdConfig) -> Result<RingReport, String> {
             })
             .ok_or("no node holds any block")?
     };
+    // Scrape every daemon before the kill: the SIGKILL takes the victim's op
+    // log and counters with it, so its server-side story must be captured
+    // while it is still alive.
+    let mut snapshots: BTreeMap<NodeRef, NodeStats> = BTreeMap::new();
+    scrape_into(client.backend(), 0..config.nodes, &mut snapshots)?;
     ring.kill(victim).map_err(|e| format!("kill: {e}"))?;
 
     let (degraded, degraded_fetch_ms) = timed(|| client.retrieve_data(name));
@@ -208,8 +266,26 @@ pub fn run_ring(config: &RingCmdConfig) -> Result<RingReport, String> {
     let (reread, _) = timed(|| client.retrieve_data(name));
     let recovered = whole_ok && degraded_ok && reread.as_deref() == Some(&data[..]);
 
+    // Re-scrape the survivors: their logs now also cover the degraded read
+    // and repair traffic.  The victim keeps its pre-kill snapshot.
+    scrape_into(
+        client.backend(),
+        (0..config.nodes).filter(|&n| n != victim),
+        &mut snapshots,
+    )?;
+
     let export = client.backend().export_metrics();
     let rpc = rpc_stats(&export);
+    let gateway_log = client.backend().op_log();
+    let unattributed_rpcs = unattributed_count(&gateway_log, &snapshots);
+    let node_stats = snapshots
+        .into_iter()
+        .map(|(node, stats)| NodeSideStats {
+            node,
+            name: format!("node-{node}"),
+            stats,
+        })
+        .collect();
 
     // Gracefully shut the survivors down (the ring's Drop kills whatever is
     // left).
@@ -232,6 +308,9 @@ pub fn run_ring(config: &RingCmdConfig) -> Result<RingReport, String> {
         recovered,
         rpc,
         metrics: export,
+        node_stats,
+        gateway_rpcs_logged: gateway_log.len() as u64,
+        unattributed_rpcs,
     })
 }
 
@@ -252,11 +331,37 @@ pub fn render_ring_text(report: &RingReport) -> String {
         "  regenerated {} blocks, lost {} chunks, recovered: {}\n",
         report.blocks_regenerated, report.chunks_lost, report.recovered
     ));
+    out.push_str(&format!(
+        "  {} gateway RPCs logged, {} unattributed\n",
+        report.gateway_rpcs_logged, report.unattributed_rpcs
+    ));
     out.push_str("  op             calls  errors  mean ms\n");
     for stat in &report.rpc {
         out.push_str(&format!(
             "  {:<14} {:>5}  {:>6}  {:>7.3}\n",
             stat.op, stat.calls, stat.errors, stat.mean_ms
+        ));
+    }
+    out.push_str("  node      used / capacity   objects  reqs  errors  slow\n");
+    for ns in &report.node_stats {
+        let sum_counter = |name: &str| -> u64 {
+            ns.stats
+                .metrics
+                .counters
+                .iter()
+                .filter(|c| c.name == name)
+                .map(|c| c.value)
+                .sum()
+        };
+        out.push_str(&format!(
+            "  {:<8} {:>6} / {:>8}  {:>7}  {:>4}  {:>6}  {:>4}\n",
+            ns.name,
+            ns.stats.used.to_string(),
+            ns.stats.capacity.to_string(),
+            ns.stats.objects,
+            sum_counter("node_requests_total"),
+            sum_counter("node_errors_total"),
+            sum_counter("node_slow_requests_total"),
         ));
     }
     out
@@ -287,8 +392,20 @@ mod tests {
             .rpc
             .iter()
             .any(|s| s.op == "store_block" && s.calls > 0));
+        // Server-side stats cover every daemon, and every logged RPC joins a
+        // node op-log entry by request id (or failed with an error kind).
+        assert_eq!(report.node_stats.len(), report.nodes);
+        assert!(report.gateway_rpcs_logged > 0);
+        assert_eq!(report.unattributed_rpcs, 0);
+        let victim_stats = report
+            .node_stats
+            .iter()
+            .find(|ns| ns.node == report.victim)
+            .expect("the victim's pre-kill scrape is in the report");
+        assert!(!victim_stats.stats.op_log.is_empty());
         let json = render_ring_json(&report);
         assert!(json.contains("gateway_rpc_latency_ms"), "{json}");
+        assert!(json.contains("node_requests_total"), "{json}");
         assert!(!render_ring_text(&report).is_empty());
     }
 }

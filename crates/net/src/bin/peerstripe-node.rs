@@ -23,30 +23,37 @@ struct Args {
     capacity: ByteSize,
     report_fraction: f64,
     read_timeout: Duration,
+    op_log_capacity: usize,
+    slow_ms: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: peerstripe-node [--listen ADDR] [--id NAME] [--capacity-mb N] \
-         [--report-fraction F] [--read-timeout-ms N]\n\
+         [--report-fraction F] [--read-timeout-ms N] [--op-log N] [--slow-ms F]\n\
          \n\
          Serves one node's contributed storage over framed TCP.\n\
          --listen          bind address (default 127.0.0.1:0 = ephemeral port)\n\
          --id              node name, hashed into the overlay id space (default node-0)\n\
          --capacity-mb     contributed capacity in MiB (default 256)\n\
          --report-fraction fraction of free space getCapacity advertises (default 1.0)\n\
-         --read-timeout-ms idle-connection read timeout (default 30000)"
+         --read-timeout-ms idle-connection read timeout (default 30000)\n\
+         --op-log          recent requests kept for GetStats scrapes (default 1024)\n\
+         --slow-ms         threshold flagging a request slow (default 100)"
     );
     std::process::exit(2)
 }
 
 fn parse_args() -> Args {
+    let defaults = NodeConfig::named("node-0", ByteSize::mb(256));
     let mut args = Args {
         listen: "127.0.0.1:0".to_string(),
-        id: Id::hash("node-0"),
-        capacity: ByteSize::mb(256),
-        report_fraction: 1.0,
+        id: defaults.id,
+        capacity: defaults.capacity,
+        report_fraction: defaults.report_fraction,
         read_timeout: Duration::from_secs(30),
+        op_log_capacity: defaults.op_log_capacity,
+        slow_ms: defaults.slow_ms,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,6 +79,14 @@ fn parse_args() -> Args {
                 Ok(ms) => args.read_timeout = Duration::from_millis(ms),
                 Err(_) => usage(),
             },
+            "--op-log" => match value("--op-log").parse::<usize>() {
+                Ok(n) if n > 0 => args.op_log_capacity = n,
+                _ => usage(),
+            },
+            "--slow-ms" => match value("--slow-ms").parse::<f64>() {
+                Ok(f) if f >= 0.0 => args.slow_ms = f,
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag {other}");
@@ -88,6 +103,8 @@ fn main() {
         id: args.id,
         capacity: args.capacity,
         report_fraction: args.report_fraction,
+        op_log_capacity: args.op_log_capacity,
+        slow_ms: args.slow_ms,
     });
     let config = ServerConfig {
         read_timeout: args.read_timeout,

@@ -15,8 +15,10 @@
 //! `gateway_rpc_latency_ms`, labelled by operation), which the ring harness
 //! exports into its JSON report.
 
-use crate::protocol::{RemoteError, RepairBlock, Request, Response, WireError};
-use crate::server::call;
+use crate::protocol::{
+    NodeStats, OpLogEntry, RemoteError, RepairBlock, Request, Response, WireError,
+};
+use crate::server::call_traced;
 use peerstripe_core::{
     ClusterStoreError, FetchedBlock, NodeStoreError, ObjectName, StorageBackend,
 };
@@ -24,8 +26,9 @@ use peerstripe_overlay::{Id, IdRing, NodeRef, Takeover};
 use peerstripe_placement::{ClusterView, ProbeView};
 use peerstripe_sim::ByteSize;
 use peerstripe_telemetry::{CounterHandle, HistogramHandle, MetricsRegistry, RegistryExport};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -75,9 +78,11 @@ const OPS: &[&str] = &[
 #[derive(Clone, Copy)]
 struct OpHandles {
     total: CounterHandle,
-    errors: CounterHandle,
     latency: HistogramHandle,
 }
+
+/// How many finished RPCs the gateway's op log retains.
+const GATEWAY_OP_LOG_CAPACITY: usize = 4096;
 
 /// The networked backend: a membership ring over live node daemons.
 pub struct RingGateway {
@@ -92,6 +97,11 @@ pub struct RingGateway {
     reports: Mutex<BTreeMap<NodeRef, ByteSize>>,
     metrics: Mutex<MetricsRegistry>,
     handles: BTreeMap<&'static str, OpHandles>,
+    /// Monotonic request-id source; every instrumented RPC carries one, so
+    /// gateway and node op logs join on it.
+    next_rid: AtomicU64,
+    /// Recent RPCs, oldest first, bounded at [`GATEWAY_OP_LOG_CAPACITY`].
+    op_log: Mutex<VecDeque<OpLogEntry>>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -118,7 +128,6 @@ impl RingGateway {
                 *op,
                 OpHandles {
                     total: metrics.counter("gateway_rpc_total", &[("op", op)]),
-                    errors: metrics.counter("gateway_rpc_errors", &[("op", op)]),
                     latency: metrics.histogram(
                         "gateway_rpc_latency_ms",
                         &[("op", op)],
@@ -136,6 +145,8 @@ impl RingGateway {
             reports: Mutex::new(BTreeMap::new()),
             metrics: Mutex::new(metrics),
             handles,
+            next_rid: AtomicU64::new(1),
+            op_log: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -157,24 +168,65 @@ impl RingGateway {
         Ok(stream)
     }
 
+    /// The failure kind of an RPC outcome: a [`WireError`] variant label for
+    /// transport/protocol errors, a `node_*` label for typed node refusals,
+    /// `None` for success — the `kind` label on `gateway_rpc_errors`.
+    fn outcome_kind(result: &Result<Response, WireError>) -> Option<&'static str> {
+        match result {
+            Ok(Response::Error(RemoteError::InsufficientSpace)) => Some("node_insufficient_space"),
+            Ok(Response::Error(RemoteError::AlreadyStored)) => Some("node_already_stored"),
+            Ok(Response::Error(RemoteError::BadRequest { .. })) => Some("node_bad_request"),
+            Ok(_) => None,
+            Err(e) => Some(e.kind_label()),
+        }
+    }
+
     /// One RPC against `node`: pooled connection, one transparent re-dial
-    /// after a transport error, latency and outcome recorded under `op`.
+    /// after a transport error, latency and outcome recorded under `op`, and
+    /// a fresh request id assigned so the node's op log can attribute the
+    /// call back to this gateway entry.
     fn rpc(&self, node: NodeRef, op: &'static str, req: &Request) -> Result<Response, WireError> {
+        let rid = self.next_rid.fetch_add(1, Ordering::Relaxed);
         let start = std::time::Instant::now(); // lint:allow(wall-clock) -- measuring real RPC latency on the network path is the point of the gateway histograms
-        let result = self.rpc_uninstrumented(node, req);
+        let result = self.rpc_uninstrumented(node, req, Some(rid));
         let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        let kind = Self::outcome_kind(&result);
         if let Some(h) = self.handles.get(op) {
             let mut metrics = lock(&self.metrics);
             metrics.inc(h.total, 1);
             metrics.observe(h.latency, elapsed_ms);
-            if result.is_err() {
-                metrics.inc(h.errors, 1);
+            if let Some(kind) = kind {
+                // Registered on first use: the kind space is open-ended, so
+                // eager registration would pin down kinds that never occur.
+                let errors = metrics.counter("gateway_rpc_errors", &[("op", op), ("kind", kind)]);
+                metrics.inc(errors, 1);
             }
+        }
+        // Shutdown is intercepted by the server layer before dispatch, so the
+        // node never logs it; keeping it out of the gateway log preserves the
+        // invariant that every logged RPC can join a node-side entry.
+        if op != "shutdown" {
+            let mut log = lock(&self.op_log);
+            if log.len() == GATEWAY_OP_LOG_CAPACITY {
+                log.pop_front();
+            }
+            log.push_back(OpLogEntry {
+                request_id: Some(rid),
+                op: op.to_string(),
+                duration_ms: elapsed_ms,
+                outcome: kind.unwrap_or("ok").to_string(),
+                slow: false,
+            });
         }
         result
     }
 
-    fn rpc_uninstrumented(&self, node: NodeRef, req: &Request) -> Result<Response, WireError> {
+    fn rpc_uninstrumented(
+        &self,
+        node: NodeRef,
+        req: &Request,
+        rid: Option<u64>,
+    ) -> Result<Response, WireError> {
         let mut conns = lock(&self.conns);
         let mut fresh = false;
         let mut stream = match conns.remove(&node) {
@@ -184,8 +236,8 @@ impl RingGateway {
                 self.dial(node)?
             }
         };
-        match call(&mut stream, req) {
-            Ok(resp) => {
+        match call_traced(&mut stream, req, rid) {
+            Ok((resp, _)) => {
                 conns.insert(node, stream);
                 Ok(resp)
             }
@@ -193,12 +245,30 @@ impl RingGateway {
                 // The pooled connection went stale (daemon restarted, idle
                 // timeout); re-dial once.
                 let mut stream = self.dial(node)?;
-                let resp = call(&mut stream, req)?;
+                let (resp, _) = call_traced(&mut stream, req, rid)?;
                 conns.insert(node, stream);
                 Ok(resp)
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Scrape one daemon's stats.  Deliberately uninstrumented and untraced:
+    /// observation must not change the op counts, latencies, or logs it
+    /// reads, so repeated scrapes of an idle ring are byte-identical.
+    pub fn get_stats(&self, node: NodeRef) -> Result<NodeStats, WireError> {
+        match self.rpc_uninstrumented(node, &Request::GetStats, None)? {
+            Response::Stats { stats } => Ok(*stats),
+            Response::Error(e) => Err(WireError::Body(e.to_string())),
+            other => Err(WireError::Body(format!(
+                "unexpected reply to GetStats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Snapshot of the gateway's recent-RPC log, oldest first.
+    pub fn op_log(&self) -> Vec<OpLogEntry> {
+        lock(&self.op_log).iter().cloned().collect()
     }
 
     /// Probe one node's capacity over the wire, refreshing the report cache.
@@ -510,6 +580,60 @@ mod tests {
             .map(|c| c.value)
             .sum();
         assert!(errs >= 2, "expected error counters, got {errs}");
+        for n in nodes {
+            n.stop().unwrap();
+        }
+    }
+
+    #[test]
+    fn request_ids_join_gateway_and_node_op_logs() {
+        let (nodes, gw) = ring_of(2);
+        assert!(gw.ping(0));
+        assert!(gw.ping(1));
+        assert!(gw.ping(0));
+        let gw_log = gw.op_log();
+        assert_eq!(gw_log.len(), 3);
+        let mut node_rids = std::collections::BTreeSet::new();
+        for n in 0..2 {
+            let stats = gw.get_stats(n).unwrap();
+            assert!(stats.op_log.iter().all(|e| e.op != "get_stats"));
+            for e in &stats.op_log {
+                if let Some(rid) = e.request_id {
+                    node_rids.insert(rid);
+                }
+            }
+        }
+        // Every gateway entry is attributable to exactly the node-side log.
+        for entry in &gw_log {
+            assert!(entry.is_ok());
+            let rid = entry.request_id.expect("instrumented RPCs carry an id");
+            assert!(node_rids.contains(&rid), "rid {rid} missing node-side");
+        }
+        for n in nodes {
+            n.stop().unwrap();
+        }
+    }
+
+    #[test]
+    fn error_counters_carry_the_failure_kind() {
+        let (mut nodes, gw) = ring_of(2);
+        nodes.remove(1).stop().unwrap();
+        assert!(!gw.ping(1));
+        let export = gw.export_metrics();
+        let io_errs: u64 = export
+            .counters
+            .iter()
+            .filter(|c| {
+                c.name == "gateway_rpc_errors"
+                    && c.labels.contains(&("kind".to_string(), "io".to_string()))
+            })
+            .map(|c| c.value)
+            .sum();
+        assert!(io_errs >= 1, "expected an io-kind error counter");
+        // The failed RPC stays attributed in the gateway log via its outcome.
+        let last = gw.op_log().pop().unwrap();
+        assert_eq!(last.op, "ping");
+        assert_eq!(last.outcome, "io");
         for n in nodes {
             n.stop().unwrap();
         }

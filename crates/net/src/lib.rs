@@ -19,6 +19,12 @@
 //! and tests; `repro ring` stores and recovers a file across such a ring
 //! through a real node kill.
 //!
+//! Observability runs end-to-end across the wire: every instrumented gateway
+//! RPC carries a request id that the node echoes and records in its own
+//! bounded op log, each [`NodeService`] keeps per-op metrics a `GetStats`
+//! frame exposes, and [`monitor`] scrapes a whole ring into one node-labelled
+//! registry (`repro monitor` drives it against a `LocalRing`).
+//!
 //! The crate is deliberately *not* in the deterministic-simulation set: it
 //! touches wall clocks and sockets, and says so via audited lint waivers
 //! instead of a blanket exemption.
@@ -27,13 +33,18 @@
 #![warn(rust_2018_idioms)]
 
 pub mod gateway;
+pub mod monitor;
 pub mod node;
 pub mod protocol;
 pub mod ring;
 pub mod server;
 
 pub use gateway::{GatewayConfig, NodeEndpoint, RingGateway, LATENCY_BUCKETS_MS};
+pub use monitor::{ClusterMonitor, MonitorConfig, NodeHealth};
 pub use node::{NodeConfig, NodeService};
-pub use protocol::{RemoteError, RepairBlock, Request, Response, WireError, MAX_FRAME, VERSION};
+pub use protocol::{
+    NodeStats, OpLogEntry, RemoteError, RepairBlock, Request, Response, WireError, MAX_FRAME,
+    VERSION,
+};
 pub use ring::{node_binary, LocalRing};
 pub use server::{NodeServer, RunningNode, ServerConfig};

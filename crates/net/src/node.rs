@@ -6,10 +6,30 @@
 //! request handling is exercised in-process by unit tests and over real
 //! sockets by the daemon.
 
-use crate::protocol::{RemoteError, RepairBlock, Request, Response};
+use crate::gateway::LATENCY_BUCKETS_MS;
+use crate::protocol::{NodeStats, OpLogEntry, RemoteError, RepairBlock, Request, Response};
 use peerstripe_core::{NodeStoreError, StoredObject};
 use peerstripe_overlay::Id;
 use peerstripe_sim::ByteSize;
+use peerstripe_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry};
+use std::collections::{BTreeMap, VecDeque};
+
+/// The wire operations a node instruments, as metric label values.
+/// `get_stats` is deliberately absent: a stats scrape must not perturb the
+/// stats it reads, so repeated scrapes of an idle node are byte-identical.
+const OPS: &[&str] = &[
+    "ping",
+    "get_capacity",
+    "store_block",
+    "fetch_block",
+    "repair_read",
+    "remove_block",
+    "shutdown",
+];
+
+/// The typed-error kinds a node counts, pre-registered so the registry's
+/// shape does not depend on which errors a run happened to hit.
+const ERROR_KINDS: &[&str] = &["insufficient_space", "already_stored", "bad_request"];
 
 /// Configuration of one node daemon.
 #[derive(Debug, Clone)]
@@ -20,6 +40,11 @@ pub struct NodeConfig {
     pub capacity: ByteSize,
     /// Fraction of free space a `getCapacity` reply advertises (Section 4.3).
     pub report_fraction: f64,
+    /// How many finished requests the recent-request log retains.
+    pub op_log_capacity: usize,
+    /// Requests slower than this many milliseconds are flagged slow (in the
+    /// op log and the `node_slow_requests_total` counter).
+    pub slow_ms: f64,
 }
 
 impl NodeConfig {
@@ -31,23 +56,80 @@ impl NodeConfig {
             id: Id::hash(name),
             capacity,
             report_fraction: 1.0,
+            op_log_capacity: 1024,
+            slow_ms: 100.0,
         }
     }
 }
 
-/// The request handler a daemon serves: one node's storage and identity.
+#[derive(Debug, Clone, Copy)]
+struct OpHandles {
+    total: CounterHandle,
+    latency: HistogramHandle,
+}
+
+/// The request handler a daemon serves: one node's storage and identity,
+/// plus its own observability: a metrics registry (per-op counters and
+/// latency histograms, byte counters, an occupancy gauge, typed-error
+/// counters) and a bounded log of recent requests.
 #[derive(Debug)]
 pub struct NodeService {
     id: Id,
     store: peerstripe_core::StorageNode,
+    metrics: MetricsRegistry,
+    op_handles: BTreeMap<&'static str, OpHandles>,
+    error_handles: BTreeMap<&'static str, CounterHandle>,
+    bytes_in: CounterHandle,
+    bytes_out: CounterHandle,
+    slow_total: CounterHandle,
+    occupancy: GaugeHandle,
+    op_log: VecDeque<OpLogEntry>,
+    op_log_capacity: usize,
+    slow_ms: f64,
 }
 
 impl NodeService {
     /// Create a service with an empty store.
     pub fn new(config: &NodeConfig) -> Self {
+        let mut metrics = MetricsRegistry::new();
+        let mut op_handles = BTreeMap::new();
+        for op in OPS {
+            op_handles.insert(
+                *op,
+                OpHandles {
+                    total: metrics.counter("node_requests_total", &[("op", op)]),
+                    latency: metrics.histogram(
+                        "node_request_latency_ms",
+                        &[("op", op)],
+                        LATENCY_BUCKETS_MS,
+                    ),
+                },
+            );
+        }
+        let mut error_handles = BTreeMap::new();
+        for kind in ERROR_KINDS {
+            error_handles.insert(
+                *kind,
+                metrics.counter("node_errors_total", &[("kind", kind)]),
+            );
+        }
+        let bytes_in = metrics.counter("node_bytes_in_total", &[]);
+        let bytes_out = metrics.counter("node_bytes_out_total", &[]);
+        let slow_total = metrics.counter("node_slow_requests_total", &[]);
+        let occupancy = metrics.gauge("node_store_occupancy_bytes", &[]);
         NodeService {
             id: config.id,
             store: peerstripe_core::StorageNode::new(config.capacity, config.report_fraction, true),
+            metrics,
+            op_handles,
+            error_handles,
+            bytes_in,
+            bytes_out,
+            slow_total,
+            occupancy,
+            op_log: VecDeque::new(),
+            op_log_capacity: config.op_log_capacity.max(1),
+            slow_ms: config.slow_ms,
         }
     }
 
@@ -61,9 +143,131 @@ impl NodeService {
         &self.store
     }
 
-    /// Answer one request.  Never fails: malformed or refused operations
-    /// produce typed [`Response::Error`] replies.
+    /// The node's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The recent-request log, oldest first.
+    pub fn op_log(&self) -> impl Iterator<Item = &OpLogEntry> {
+        self.op_log.iter()
+    }
+
+    /// The wire label of a request, for metrics and the op log.
+    fn op_name(req: &Request) -> &'static str {
+        match req {
+            Request::Ping => "ping",
+            Request::GetCapacity => "get_capacity",
+            Request::StoreBlock { .. } => "store_block",
+            Request::FetchBlock { .. } => "fetch_block",
+            Request::RepairRead { .. } => "repair_read",
+            Request::RemoveBlock { .. } => "remove_block",
+            Request::Shutdown => "shutdown",
+            Request::GetStats => "get_stats",
+        }
+    }
+
+    /// The op-log outcome string of a response: `"ok"` or the error kind.
+    fn outcome_of(resp: &Response) -> &'static str {
+        match resp {
+            Response::Error(RemoteError::InsufficientSpace) => "insufficient_space",
+            Response::Error(RemoteError::AlreadyStored) => "already_stored",
+            Response::Error(RemoteError::BadRequest { .. }) => "bad_request",
+            _ => "ok",
+        }
+    }
+
+    /// Payload bytes a request carries into the node.
+    fn payload_in(req: &Request) -> u64 {
+        match req {
+            Request::StoreBlock {
+                payload: Some(p), ..
+            } => p.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Payload bytes a response carries out of the node.
+    fn payload_out(resp: &Response) -> u64 {
+        match resp {
+            Response::Block {
+                block: Some((_, Some(p))),
+            } => p.len() as u64,
+            Response::RepairBlocks { blocks } => blocks
+                .iter()
+                .filter_map(|b| b.payload.as_ref())
+                .map(|p| p.len() as u64)
+                .sum(),
+            _ => 0,
+        }
+    }
+
+    /// Snapshot the node's observability state (the `Stats` reply body).
+    pub fn stats(&self) -> NodeStats {
+        NodeStats {
+            node: self.id,
+            capacity: self.store.capacity(),
+            used: self.store.used(),
+            objects: self.store.object_count(),
+            metrics: self.metrics.export(),
+            op_log: self.op_log.iter().cloned().collect(),
+        }
+    }
+
+    /// Answer one request (untraced).
     pub fn handle(&mut self, req: Request) -> Response {
+        self.handle_traced(req, None)
+    }
+
+    /// Answer one request carrying an optional request id, recording per-op
+    /// metrics and an op-log entry.  `GetStats` is answered without touching
+    /// either, so a scrape observes the node instead of perturbing it.
+    /// Never fails: malformed or refused operations produce typed
+    /// [`Response::Error`] replies.
+    pub fn handle_traced(&mut self, req: Request, rid: Option<u64>) -> Response {
+        if matches!(req, Request::GetStats) {
+            return Response::Stats {
+                stats: Box::new(self.stats()),
+            };
+        }
+        let op = Self::op_name(&req);
+        let in_bytes = Self::payload_in(&req);
+        let start = std::time::Instant::now(); // lint:allow(wall-clock) -- node-side request latency is real service time on the network path, mirroring the gateway's waiver
+        let resp = self.handle_inner(req);
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        let outcome = Self::outcome_of(&resp);
+        let slow = elapsed_ms > self.slow_ms;
+        if let Some(h) = self.op_handles.get(op) {
+            self.metrics.inc(h.total, 1);
+            self.metrics.observe(h.latency, elapsed_ms);
+        }
+        if outcome != "ok" {
+            if let Some(&h) = self.error_handles.get(outcome) {
+                self.metrics.inc(h, 1);
+            }
+        }
+        self.metrics.inc(self.bytes_in, in_bytes);
+        self.metrics.inc(self.bytes_out, Self::payload_out(&resp));
+        if slow {
+            self.metrics.inc(self.slow_total, 1);
+        }
+        self.metrics
+            .set(self.occupancy, self.store.used().as_u64() as f64);
+        if self.op_log.len() == self.op_log_capacity {
+            self.op_log.pop_front();
+        }
+        self.op_log.push_back(OpLogEntry {
+            request_id: rid,
+            op: op.to_string(),
+            duration_ms: elapsed_ms,
+            outcome: outcome.to_string(),
+            slow,
+        });
+        resp
+    }
+
+    /// The storage semantics of each request, free of instrumentation.
+    fn handle_inner(&mut self, req: Request) -> Response {
         match req {
             Request::Ping => Response::Pong { node: self.id },
             Request::GetCapacity => Response::Capacity {
@@ -118,6 +322,11 @@ impl NodeService {
             // The server layer intercepts Shutdown before dispatch; answering
             // here keeps the service total.
             Request::Shutdown => Response::ShuttingDown,
+            // `handle_traced` answers GetStats before dispatch (a scrape must
+            // not instrument itself); answering here keeps the match total.
+            Request::GetStats => Response::Stats {
+                stats: Box::new(self.stats()),
+            },
         }
     }
 }

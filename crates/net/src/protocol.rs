@@ -24,6 +24,8 @@
 use peerstripe_core::ObjectName;
 use peerstripe_overlay::Id;
 use peerstripe_sim::ByteSize;
+use peerstripe_telemetry::RegistryExport;
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
@@ -53,6 +55,8 @@ pub mod kind {
     pub const REMOVE_BLOCK: u8 = 0x06;
     /// Ask the daemon to shut down gracefully.
     pub const SHUTDOWN: u8 = 0x07;
+    /// Ask for the daemon's metrics snapshot and recent-request log.
+    pub const GET_STATS: u8 = 0x08;
     /// Reply to [`PING`].
     pub const PONG: u8 = 0x81;
     /// Reply to [`GET_CAPACITY`].
@@ -67,6 +71,8 @@ pub mod kind {
     pub const REMOVED: u8 = 0x86;
     /// Reply to [`SHUTDOWN`].
     pub const SHUTTING_DOWN: u8 = 0x87;
+    /// Reply to [`GET_STATS`].
+    pub const STATS: u8 = 0x88;
     /// Typed error reply (any request).
     pub const ERROR: u8 = 0xFF;
 }
@@ -134,6 +140,21 @@ impl WireError {
     pub fn is_transport(&self) -> bool {
         matches!(self, WireError::Io(_) | WireError::Truncated)
     }
+
+    /// A stable label for the error's variant, used as the `kind` label on
+    /// `gateway_rpc_errors` so wire errors stay distinguishable from node
+    /// refusals in merged telemetry.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            WireError::Io(_) => "io",
+            WireError::Truncated => "truncated",
+            WireError::BadMagic(_) => "bad_magic",
+            WireError::Version(_) => "version",
+            WireError::Oversized(_) => "oversized",
+            WireError::UnknownKind(_) => "unknown_kind",
+            WireError::Body(_) => "body",
+        }
+    }
 }
 
 /// A request the gateway sends to a node daemon.
@@ -178,6 +199,8 @@ pub enum Request {
     },
     /// Ask the daemon to finish in-flight requests and exit.
     Shutdown,
+    /// Ask for the node's metrics snapshot and recent-request log.
+    GetStats,
 }
 
 /// Why a node refused a request.
@@ -206,6 +229,49 @@ impl std::fmt::Display for RemoteError {
     }
 }
 
+/// One finished request in a node's bounded recent-request log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpLogEntry {
+    /// The request id the caller threaded through the frame meta; `None`
+    /// when the request was untraced.
+    pub request_id: Option<u64>,
+    /// Wire operation name (`store_block`, `fetch_block`, ...).
+    pub op: String,
+    /// How long handling took, in milliseconds.
+    pub duration_ms: f64,
+    /// `"ok"` or a typed error kind (`insufficient_space`, ...).
+    pub outcome: String,
+    /// True when `duration_ms` crossed the node's slow-request threshold.
+    pub slow: bool,
+}
+
+impl OpLogEntry {
+    /// True when the request completed without a typed error.
+    pub fn is_ok(&self) -> bool {
+        self.outcome == "ok"
+    }
+}
+
+/// A node daemon's self-reported observability snapshot: identity, store
+/// occupancy, the full metrics-registry export, and the tail of its
+/// recent-request log.  Carried by [`Response::Stats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// The reporting node's overlay identifier.
+    pub node: Id,
+    /// Contributed capacity.
+    pub capacity: ByteSize,
+    /// Bytes currently charged against the capacity.
+    pub used: ByteSize,
+    /// Objects currently stored.
+    pub objects: u64,
+    /// The node's metrics registry (per-op counters, latency histograms,
+    /// byte counters, occupancy gauge, typed-error counters).
+    pub metrics: RegistryExport,
+    /// The bounded recent-request log, oldest first.
+    pub op_log: Vec<OpLogEntry>,
+}
+
 /// One block returned by a [`Request::RepairRead`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RepairBlock {
@@ -218,7 +284,10 @@ pub struct RepairBlock {
 }
 
 /// A reply a node daemon sends back to the gateway.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `PartialEq` only (no `Eq`): [`Response::Stats`] carries float-valued
+/// telemetry.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Reply to [`Request::Ping`], carrying the node's overlay id.
     Pong {
@@ -248,6 +317,11 @@ pub enum Response {
     Removed,
     /// The daemon acknowledges the shutdown request and will exit.
     ShuttingDown,
+    /// Reply to [`Request::GetStats`]: the node's observability snapshot.
+    Stats {
+        /// Metrics, occupancy, and the recent-request log.
+        stats: Box<NodeStats>,
+    },
     /// The request was refused.
     Error(RemoteError),
 }
@@ -311,12 +385,68 @@ struct RepairBlocksMeta {
     blocks: Vec<RepairBlockMeta>,
 }
 
-fn meta_json<T: Serialize>(meta: &T) -> Result<String, WireError> {
-    serde_json::to_string(meta).map_err(|e| WireError::Body(e.to_string()))
+/// The meta-JSON key an optional request id travels under.  Request ids make
+/// every RPC correlatable between the gateway's and the node's op logs; a
+/// frame without the key is simply untraced, so old and new peers interoperate
+/// (the typed meta parsers ignore unknown fields).
+const RID_KEY: &str = "rid";
+
+/// Render a frame's meta section: the message's typed fields as a JSON
+/// object (or `None` for field-less messages), with the optional request id
+/// spliced in as an extra `"rid"` field.  Untraced field-less frames keep the
+/// zero-byte meta section older peers expect.
+fn render_meta(meta: Option<Value>, rid: Option<u64>) -> Result<String, WireError> {
+    let value = match (meta, rid) {
+        (None, None) => return Ok(String::new()),
+        (Some(v), None) => v,
+        (meta, Some(id)) => {
+            let mut fields = match meta {
+                Some(Value::Obj(fields)) => fields,
+                None => Vec::new(),
+                Some(_) => {
+                    return Err(WireError::Body(
+                        "request ids require an object-shaped meta".to_string(),
+                    ))
+                }
+            };
+            fields.push((RID_KEY.to_string(), Value::Num(id.to_string())));
+            Value::Obj(fields)
+        }
+    };
+    serde_json::to_string(&value).map_err(|e| WireError::Body(e.to_string()))
 }
 
-fn parse_meta<T: Deserialize>(json: &str) -> Result<T, WireError> {
-    serde_json::from_str(json).map_err(|e| WireError::Body(e.to_string()))
+/// Parse a frame's meta section and strip the optional request id out of it,
+/// leaving the typed fields for the per-kind parsers.  Non-object metas (the
+/// error reply's enum encoding) pass through untouched and untraced.
+fn split_meta(meta: &str) -> Result<(Value, Option<u64>), WireError> {
+    if meta.is_empty() {
+        return Ok((Value::Obj(Vec::new()), None));
+    }
+    let value: Value = serde_json::from_str(meta).map_err(|e| WireError::Body(e.to_string()))?;
+    let Value::Obj(mut fields) = value else {
+        return Ok((value, None));
+    };
+    let rid = match fields.iter().position(|(k, _)| k == RID_KEY) {
+        Some(i) => match fields.remove(i).1 {
+            Value::Num(n) => Some(
+                n.parse::<u64>()
+                    .map_err(|_| WireError::Body(format!("bad request id {n:?}")))?,
+            ),
+            Value::Null => None,
+            _ => return Err(WireError::Body("request id is not a number".to_string())),
+        },
+        None => None,
+    };
+    Ok((Value::Obj(fields), rid))
+}
+
+fn meta_value<T: Serialize>(meta: &T) -> Option<Value> {
+    Some(meta.to_value())
+}
+
+fn parse_meta<T: Deserialize>(v: &Value) -> Result<T, WireError> {
+    T::from_value(v).map_err(|e| WireError::Body(e.to_string()))
 }
 
 /// Write one raw frame.
@@ -365,112 +495,149 @@ fn read_frame(r: &mut impl Read) -> Result<(u8, String, Vec<u8>), WireError> {
     Ok((kind, meta, payload))
 }
 
-/// Serialize and write one request frame.
+/// Serialize and write one request frame (untraced).
 pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), WireError> {
-    match req {
-        Request::Ping => write_frame(w, kind::PING, "", &[]),
-        Request::GetCapacity => write_frame(w, kind::GET_CAPACITY, "", &[]),
+    write_request_traced(w, req, None)
+}
+
+/// Serialize and write one request frame, threading an optional request id
+/// through the frame meta.
+pub fn write_request_traced(
+    w: &mut impl Write,
+    req: &Request,
+    rid: Option<u64>,
+) -> Result<(), WireError> {
+    let (kind_byte, meta, payload): (u8, Option<Value>, &[u8]) = match req {
+        Request::Ping => (kind::PING, None, &[]),
+        Request::GetCapacity => (kind::GET_CAPACITY, None, &[]),
         Request::StoreBlock {
             key,
             name,
             size,
             payload,
-        } => {
-            let meta = meta_json(&StoreBlockMeta {
+        } => (
+            kind::STORE_BLOCK,
+            meta_value(&StoreBlockMeta {
                 key: *key,
                 name: name.clone(),
                 size: *size,
                 has_payload: payload.is_some(),
-            })?;
-            write_frame(
-                w,
-                kind::STORE_BLOCK,
-                &meta,
-                payload.as_deref().unwrap_or(&[]),
-            )
-        }
-        Request::FetchBlock { name } => {
-            let meta = meta_json(&FetchBlockMeta { name: name.clone() })?;
-            write_frame(w, kind::FETCH_BLOCK, &meta, &[])
-        }
-        Request::RepairRead { file, chunk } => {
-            let meta = meta_json(&RepairReadMeta {
+            }),
+            payload.as_deref().unwrap_or(&[]),
+        ),
+        Request::FetchBlock { name } => (
+            kind::FETCH_BLOCK,
+            meta_value(&FetchBlockMeta { name: name.clone() }),
+            &[],
+        ),
+        Request::RepairRead { file, chunk } => (
+            kind::REPAIR_READ,
+            meta_value(&RepairReadMeta {
                 file: file.clone(),
                 chunk: *chunk,
-            })?;
-            write_frame(w, kind::REPAIR_READ, &meta, &[])
-        }
-        Request::RemoveBlock { name, size } => {
-            let meta = meta_json(&RemoveBlockMeta {
+            }),
+            &[],
+        ),
+        Request::RemoveBlock { name, size } => (
+            kind::REMOVE_BLOCK,
+            meta_value(&RemoveBlockMeta {
                 name: name.clone(),
                 size: *size,
-            })?;
-            write_frame(w, kind::REMOVE_BLOCK, &meta, &[])
-        }
-        Request::Shutdown => write_frame(w, kind::SHUTDOWN, "", &[]),
-    }
+            }),
+            &[],
+        ),
+        Request::Shutdown => (kind::SHUTDOWN, None, &[]),
+        Request::GetStats => (kind::GET_STATS, None, &[]),
+    };
+    let meta = render_meta(meta, rid)?;
+    write_frame(w, kind_byte, &meta, payload)
 }
 
-/// Read and parse one request frame.
+/// Read and parse one request frame, dropping any request id.
 pub fn read_request(r: &mut impl Read) -> Result<Request, WireError> {
+    read_request_traced(r).map(|(req, _)| req)
+}
+
+/// Read and parse one request frame along with the optional request id the
+/// sender threaded through the meta (`None` = untraced).
+pub fn read_request_traced(r: &mut impl Read) -> Result<(Request, Option<u64>), WireError> {
     let (kind_byte, meta, payload) = read_frame(r)?;
-    match kind_byte {
-        kind::PING => Ok(Request::Ping),
-        kind::GET_CAPACITY => Ok(Request::GetCapacity),
+    let (meta, rid) = split_meta(&meta)?;
+    let req = match kind_byte {
+        kind::PING => Request::Ping,
+        kind::GET_CAPACITY => Request::GetCapacity,
         kind::STORE_BLOCK => {
             let m: StoreBlockMeta = parse_meta(&meta)?;
-            Ok(Request::StoreBlock {
+            Request::StoreBlock {
                 key: m.key,
                 name: m.name,
                 size: m.size,
                 payload: m.has_payload.then_some(payload),
-            })
+            }
         }
         kind::FETCH_BLOCK => {
             let m: FetchBlockMeta = parse_meta(&meta)?;
-            Ok(Request::FetchBlock { name: m.name })
+            Request::FetchBlock { name: m.name }
         }
         kind::REPAIR_READ => {
             let m: RepairReadMeta = parse_meta(&meta)?;
-            Ok(Request::RepairRead {
+            Request::RepairRead {
                 file: m.file,
                 chunk: m.chunk,
-            })
+            }
         }
         kind::REMOVE_BLOCK => {
             let m: RemoveBlockMeta = parse_meta(&meta)?;
-            Ok(Request::RemoveBlock {
+            Request::RemoveBlock {
                 name: m.name,
                 size: m.size,
-            })
+            }
         }
-        kind::SHUTDOWN => Ok(Request::Shutdown),
-        other => Err(WireError::UnknownKind(other)),
-    }
+        kind::SHUTDOWN => Request::Shutdown,
+        kind::GET_STATS => Request::GetStats,
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    Ok((req, rid))
 }
 
-/// Serialize and write one response frame.
+/// Serialize and write one response frame (untraced).
 pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), WireError> {
+    write_response_traced(w, resp, None)
+}
+
+/// Serialize and write one response frame, echoing the request id of the
+/// request it answers.  Error replies stay untraced on the wire: their meta
+/// is the error enum's encoding, not an extendable object — the caller
+/// already knows which request the reply answers (one in flight per
+/// connection).
+pub fn write_response_traced(
+    w: &mut impl Write,
+    resp: &Response,
+    rid: Option<u64>,
+) -> Result<(), WireError> {
     match resp {
         Response::Pong { node } => {
-            let meta = meta_json(&PongMeta { node: *node })?;
+            let meta = render_meta(meta_value(&PongMeta { node: *node }), rid)?;
             write_frame(w, kind::PONG, &meta, &[])
         }
         Response::Capacity { free } => {
-            let meta = meta_json(&CapacityMeta { free: *free })?;
+            let meta = render_meta(meta_value(&CapacityMeta { free: *free }), rid)?;
             write_frame(w, kind::CAPACITY, &meta, &[])
         }
-        Response::Stored => write_frame(w, kind::STORED, "", &[]),
+        Response::Stored => write_frame(w, kind::STORED, &render_meta(None, rid)?, &[]),
         Response::Block { block } => {
             let (found, size, payload) = match block {
                 Some((size, payload)) => (true, *size, payload.as_deref()),
                 None => (false, ByteSize::ZERO, None),
             };
-            let meta = meta_json(&BlockMeta {
-                found,
-                size,
-                has_payload: payload.is_some(),
-            })?;
+            let meta = render_meta(
+                meta_value(&BlockMeta {
+                    found,
+                    size,
+                    has_payload: payload.is_some(),
+                }),
+                rid,
+            )?;
             write_frame(w, kind::BLOCK, &meta, payload.unwrap_or(&[]))
         }
         Response::RepairBlocks { blocks } => {
@@ -488,33 +655,55 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), WireErr
                     }
                 })
                 .collect();
-            let meta = meta_json(&RepairBlocksMeta { blocks: metas })?;
+            let meta = render_meta(meta_value(&RepairBlocksMeta { blocks: metas }), rid)?;
             write_frame(w, kind::REPAIR_BLOCKS, &meta, &joined)
         }
-        Response::Removed => write_frame(w, kind::REMOVED, "", &[]),
-        Response::ShuttingDown => write_frame(w, kind::SHUTTING_DOWN, "", &[]),
+        Response::Removed => write_frame(w, kind::REMOVED, &render_meta(None, rid)?, &[]),
+        Response::ShuttingDown => {
+            write_frame(w, kind::SHUTTING_DOWN, &render_meta(None, rid)?, &[])
+        }
+        Response::Stats { stats } => {
+            let meta = render_meta(meta_value(stats.as_ref()), rid)?;
+            write_frame(w, kind::STATS, &meta, &[])
+        }
         Response::Error(e) => {
-            let meta = meta_json(e)?;
+            let meta = render_meta(meta_value(e), None)?;
             write_frame(w, kind::ERROR, &meta, &[])
         }
     }
 }
 
-/// Read and parse one response frame.
+/// Read and parse one response frame, dropping any echoed request id.
 pub fn read_response(r: &mut impl Read) -> Result<Response, WireError> {
+    read_response_traced(r).map(|(resp, _)| resp)
+}
+
+/// Read and parse one response frame along with the optional request id the
+/// responder echoed (`None` = untraced; error replies are always untraced).
+pub fn read_response_traced(r: &mut impl Read) -> Result<(Response, Option<u64>), WireError> {
     let (kind_byte, meta, payload) = read_frame(r)?;
+    let (meta, rid) = split_meta(&meta)?;
+    let resp = read_response_body(kind_byte, &meta, payload)?;
+    Ok((resp, rid))
+}
+
+fn read_response_body(
+    kind_byte: u8,
+    meta: &Value,
+    payload: Vec<u8>,
+) -> Result<Response, WireError> {
     match kind_byte {
         kind::PONG => {
-            let m: PongMeta = parse_meta(&meta)?;
+            let m: PongMeta = parse_meta(meta)?;
             Ok(Response::Pong { node: m.node })
         }
         kind::CAPACITY => {
-            let m: CapacityMeta = parse_meta(&meta)?;
+            let m: CapacityMeta = parse_meta(meta)?;
             Ok(Response::Capacity { free: m.free })
         }
         kind::STORED => Ok(Response::Stored),
         kind::BLOCK => {
-            let m: BlockMeta = parse_meta(&meta)?;
+            let m: BlockMeta = parse_meta(meta)?;
             Ok(Response::Block {
                 block: m
                     .found
@@ -522,7 +711,7 @@ pub fn read_response(r: &mut impl Read) -> Result<Response, WireError> {
             })
         }
         kind::REPAIR_BLOCKS => {
-            let m: RepairBlocksMeta = parse_meta(&meta)?;
+            let m: RepairBlocksMeta = parse_meta(meta)?;
             let declared: u64 = m.blocks.iter().filter_map(|b| b.payload_len).sum();
             if declared != payload.len() as u64 {
                 return Err(WireError::Body(format!(
@@ -552,8 +741,14 @@ pub fn read_response(r: &mut impl Read) -> Result<Response, WireError> {
         }
         kind::REMOVED => Ok(Response::Removed),
         kind::SHUTTING_DOWN => Ok(Response::ShuttingDown),
+        kind::STATS => {
+            let stats: NodeStats = parse_meta(meta)?;
+            Ok(Response::Stats {
+                stats: Box::new(stats),
+            })
+        }
         kind::ERROR => {
-            let e: RemoteError = parse_meta(&meta)?;
+            let e: RemoteError = parse_meta(meta)?;
             Ok(Response::Error(e))
         }
         other => Err(WireError::UnknownKind(other)),
@@ -606,10 +801,142 @@ mod tests {
                 size: ByteSize::mb(2),
             },
             Request::Shutdown,
+            Request::GetStats,
         ];
         for req in reqs {
             assert_eq!(roundtrip_request(req.clone()), req);
         }
+    }
+
+    fn sample_stats() -> NodeStats {
+        let mut reg = peerstripe_telemetry::MetricsRegistry::new();
+        let c = reg.counter("node_requests_total", &[("op", "ping")]);
+        reg.inc(c, 3);
+        let h = reg.histogram("node_request_latency_ms", &[("op", "ping")], &[1.0, 10.0]);
+        reg.observe(h, 0.2);
+        NodeStats {
+            node: Id::hash("node-0"),
+            capacity: ByteSize::mb(64),
+            used: ByteSize::kb(96),
+            objects: 2,
+            metrics: reg.export(),
+            op_log: vec![
+                OpLogEntry {
+                    request_id: Some(7),
+                    op: "store_block".to_string(),
+                    duration_ms: 0.31,
+                    outcome: "ok".to_string(),
+                    slow: false,
+                },
+                OpLogEntry {
+                    request_id: None,
+                    op: "fetch_block".to_string(),
+                    duration_ms: 120.5,
+                    outcome: "ok".to_string(),
+                    slow: true,
+                },
+                OpLogEntry {
+                    request_id: Some(9),
+                    op: "store_block".to_string(),
+                    duration_ms: 0.02,
+                    outcome: "insufficient_space".to_string(),
+                    slow: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_frames_round_trip() {
+        let resp = Response::Stats {
+            stats: Box::new(sample_stats()),
+        };
+        assert_eq!(roundtrip_response(resp.clone()), resp);
+        assert_eq!(roundtrip_request(Request::GetStats), Request::GetStats);
+    }
+
+    #[test]
+    fn request_ids_round_trip_on_every_kind() {
+        let reqs = vec![
+            Request::Ping, // field-less: the meta object exists only for the id
+            Request::GetStats,
+            Request::StoreBlock {
+                key: Id::hash("k"),
+                name: ObjectName::block("f", 2, 1),
+                size: ByteSize::mb(1),
+                payload: Some(vec![1, 2, 3]),
+            },
+            Request::FetchBlock {
+                name: ObjectName::cat("f"),
+            },
+        ];
+        for (i, req) in reqs.into_iter().enumerate() {
+            let rid = 1000 + i as u64;
+            let mut buf = Vec::new();
+            write_request_traced(&mut buf, &req, Some(rid)).unwrap();
+            let (back, got) = read_request_traced(&mut Cursor::new(buf)).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(got, Some(rid));
+        }
+        let resps = vec![
+            Response::Stored,
+            Response::Pong {
+                node: Id::hash("n"),
+            },
+            Response::Stats {
+                stats: Box::new(sample_stats()),
+            },
+        ];
+        for (i, resp) in resps.into_iter().enumerate() {
+            let rid = 2000 + i as u64;
+            let mut buf = Vec::new();
+            write_response_traced(&mut buf, &resp, Some(rid)).unwrap();
+            let (back, got) = read_response_traced(&mut Cursor::new(buf)).unwrap();
+            assert_eq!(back, resp);
+            assert_eq!(got, Some(rid));
+        }
+    }
+
+    #[test]
+    fn absent_request_id_reads_as_untraced() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Ping).unwrap();
+        // Untraced field-less frames keep the zero-byte meta of protocol v1.
+        assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 0);
+        let (req, rid) = read_request_traced(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(req, Request::Ping);
+        assert_eq!(rid, None);
+
+        // A traced frame still parses for an id-oblivious reader.
+        let mut traced = Vec::new();
+        write_request_traced(
+            &mut traced,
+            &Request::FetchBlock {
+                name: ObjectName::cat("f"),
+            },
+            Some(42),
+        )
+        .unwrap();
+        assert_eq!(
+            read_request(&mut Cursor::new(traced)).unwrap(),
+            Request::FetchBlock {
+                name: ObjectName::cat("f"),
+            }
+        );
+    }
+
+    #[test]
+    fn error_replies_are_never_traced() {
+        let mut buf = Vec::new();
+        write_response_traced(
+            &mut buf,
+            &Response::Error(RemoteError::InsufficientSpace),
+            Some(7),
+        )
+        .unwrap();
+        let (resp, rid) = read_response_traced(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(resp, Response::Error(RemoteError::InsufficientSpace));
+        assert_eq!(rid, None, "error metas cannot carry a request id");
     }
 
     #[test]

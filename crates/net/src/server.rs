@@ -9,7 +9,10 @@
 //! exits.
 
 use crate::node::NodeService;
-use crate::protocol::{read_request, write_response, RemoteError, Request, Response, WireError};
+use crate::protocol::{
+    read_request_traced, write_response, write_response_traced, RemoteError, Request, Response,
+    WireError,
+};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -182,17 +185,18 @@ fn serve_connection(
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let _ = stream.set_nodelay(true);
     loop {
-        match read_request(&mut stream) {
-            Ok(Request::Shutdown) => {
+        match read_request_traced(&mut stream) {
+            Ok((Request::Shutdown, rid)) => {
                 shutdown.store(true, Ordering::SeqCst);
-                let _ = write_response(&mut stream, &Response::ShuttingDown);
+                let _ = write_response_traced(&mut stream, &Response::ShuttingDown, rid);
                 // Unblock the accept loop so it observes the flag now.
                 let _ = TcpStream::connect(server_addr);
                 break;
             }
-            Ok(req) => {
-                let resp = lock(service).handle(req);
-                if write_response(&mut stream, &resp).is_err() {
+            Ok((req, rid)) => {
+                // Echo the caller's request id so the reply is correlatable.
+                let resp = lock(service).handle_traced(req, rid);
+                if write_response_traced(&mut stream, &resp, rid).is_err() {
                     break;
                 }
             }
@@ -216,6 +220,17 @@ fn serve_connection(
 pub fn call(stream: &mut TcpStream, req: &Request) -> Result<Response, WireError> {
     crate::protocol::write_request(stream, req)?;
     crate::protocol::read_response(stream)
+}
+
+/// One round-trip RPC carrying a request id; returns the reply and the id it
+/// echoed (absent on [`Response::Error`] replies, which are never traced).
+pub fn call_traced(
+    stream: &mut TcpStream,
+    req: &Request,
+    rid: Option<u64>,
+) -> Result<(Response, Option<u64>), WireError> {
+    crate::protocol::write_request_traced(stream, req, rid)?;
+    crate::protocol::read_response_traced(stream)
 }
 
 #[cfg(test)]
@@ -313,6 +328,32 @@ mod tests {
             TcpStream::connect(addr).is_err()
         });
         assert!(gone, "listener still accepting after shutdown");
+    }
+
+    #[test]
+    fn request_ids_echo_through_a_live_server_and_land_in_the_op_log() {
+        let node = start();
+        let mut conn = TcpStream::connect(node.local_addr()).unwrap();
+        let (resp, rid) = call_traced(&mut conn, &Request::Ping, Some(7)).unwrap();
+        assert_eq!(rid, Some(7));
+        assert!(matches!(resp, Response::Pong { .. }));
+        // Untraced calls stay untraced.
+        let (_, rid) = call_traced(&mut conn, &Request::Ping, None).unwrap();
+        assert_eq!(rid, None);
+        // The scrape sees both pings, attributed exactly as sent.
+        let (resp, rid) = call_traced(&mut conn, &Request::GetStats, Some(8)).unwrap();
+        assert_eq!(rid, Some(8));
+        let Response::Stats { stats } = resp else {
+            panic!("expected Stats");
+        };
+        assert_eq!(stats.node, Id::hash("node-0"));
+        let pings: Vec<_> = stats.op_log.iter().filter(|e| e.op == "ping").collect();
+        assert_eq!(pings.len(), 2);
+        assert_eq!(pings[0].request_id, Some(7));
+        assert_eq!(pings[1].request_id, None);
+        // The scrape itself never appears in its own log or counters.
+        assert!(stats.op_log.iter().all(|e| e.op != "get_stats"));
+        node.stop().unwrap();
     }
 
     #[test]

@@ -114,6 +114,80 @@ fn file_survives_a_real_node_kill_via_degraded_read_and_repair() {
 }
 
 #[test]
+fn every_gateway_rpc_is_attributed_across_a_real_kill() {
+    let mut ring = spawn_ring();
+    let mut client = client(&ring);
+    let data = test_bytes(128 * 1024);
+
+    assert!(client.store_data(FILE, &data).is_stored());
+    assert_eq!(client.retrieve_data(FILE).as_deref(), Some(&data[..]));
+
+    // Scrape every daemon before the kill: SIGKILL destroys the victim's
+    // op log, so its entries must be captured while it is still alive.
+    let mut node_rids = std::collections::BTreeSet::new();
+    for e in ring.endpoints() {
+        let stats = client.backend().get_stats(e.node).expect("pre-kill scrape");
+        for entry in &stats.op_log {
+            if let Some(rid) = entry.request_id {
+                node_rids.insert(rid);
+            }
+        }
+    }
+
+    let manifest = client.manifest(FILE).expect("manifests are tracked");
+    let victim: NodeRef = (0..NODES)
+        .find(|&n| {
+            manifest
+                .chunks
+                .iter()
+                .any(|c| c.blocks_on(n).next().is_some())
+        })
+        .expect("at least one node holds a block");
+    ring.kill(victim).expect("killing the victim daemon");
+
+    assert_eq!(client.retrieve_data(FILE).as_deref(), Some(&data[..]));
+    let takeover = client.backend_mut().mark_failed(victim).unwrap();
+    let report = client.handle_node_failure(victim, &takeover);
+    assert_eq!(report.chunks_lost, 0);
+    assert_eq!(client.retrieve_data(FILE).as_deref(), Some(&data[..]));
+
+    // Re-scrape the survivors: their logs now also cover the degraded read
+    // and the repair traffic.
+    for e in ring.endpoints() {
+        if e.node != victim {
+            let stats = client.backend().get_stats(e.node).expect("survivor scrape");
+            for entry in &stats.op_log {
+                if let Some(rid) = entry.request_id {
+                    node_rids.insert(rid);
+                }
+            }
+        }
+    }
+
+    // The join: every successful gateway op-log entry's request id must
+    // appear in some node's op log; failed entries are attributed by their
+    // error kind (the node never saw them, or died before answering).
+    let log = client.backend().op_log();
+    assert!(!log.is_empty(), "the run must have logged RPCs");
+    let unattributed: Vec<_> = log
+        .iter()
+        .filter(|e| e.is_ok())
+        .filter(|e| !e.request_id.is_some_and(|r| node_rids.contains(&r)))
+        .collect();
+    assert!(
+        unattributed.is_empty(),
+        "{} unattributed RPCs, e.g. {:?}",
+        unattributed.len(),
+        unattributed.first()
+    );
+    // The kill shows up as error-kind entries, not as silent gaps.
+    assert!(
+        log.iter().any(|e| !e.is_ok()),
+        "RPCs against the killed daemon must appear with an error outcome"
+    );
+}
+
+#[test]
 fn surviving_daemons_hold_the_regenerated_bytes() {
     let mut ring = spawn_ring();
     let mut client = client(&ring);

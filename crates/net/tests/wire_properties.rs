@@ -5,11 +5,16 @@
 
 use peerstripe_core::ObjectName;
 use peerstripe_net::protocol::{
-    kind, read_request, read_response, write_request, write_response, HEADER_LEN, MAGIC,
+    kind, read_request, read_request_traced, read_response, read_response_traced, write_request,
+    write_request_traced, write_response, write_response_traced, HEADER_LEN, MAGIC,
 };
-use peerstripe_net::{RemoteError, RepairBlock, Request, Response, WireError, MAX_FRAME, VERSION};
+use peerstripe_net::{
+    NodeStats, OpLogEntry, RemoteError, RepairBlock, Request, Response, WireError, MAX_FRAME,
+    VERSION,
+};
 use peerstripe_overlay::Id;
 use peerstripe_sim::ByteSize;
+use peerstripe_telemetry::MetricsRegistry;
 use proptest::prelude::*;
 
 /// Encode a request to bytes.
@@ -146,11 +151,11 @@ proptest! {
     fn unknown_and_mismatched_kinds_are_typed_errors(kind_byte in any::<u8>()) {
         let request_kinds = [
             kind::PING, kind::GET_CAPACITY, kind::STORE_BLOCK, kind::FETCH_BLOCK,
-            kind::REPAIR_READ, kind::REMOVE_BLOCK, kind::SHUTDOWN,
+            kind::REPAIR_READ, kind::REMOVE_BLOCK, kind::SHUTDOWN, kind::GET_STATS,
         ];
         let response_kinds = [
             kind::PONG, kind::CAPACITY, kind::STORED, kind::BLOCK,
-            kind::REPAIR_BLOCKS, kind::REMOVED, kind::SHUTTING_DOWN, kind::ERROR,
+            kind::REPAIR_BLOCKS, kind::REMOVED, kind::SHUTTING_DOWN, kind::STATS, kind::ERROR,
         ];
         let mut header = Vec::with_capacity(HEADER_LEN);
         header.extend_from_slice(&MAGIC.to_le_bytes());
@@ -207,6 +212,93 @@ proptest! {
             _ => RemoteError::BadRequest { detail },
         });
         let bytes = encode_response(&resp);
+        prop_assert_eq!(read_response(&mut bytes.as_slice()).unwrap(), resp);
+    }
+
+    /// Stats responses round-trip arbitrary telemetry snapshots: live
+    /// registry exports and op logs with arbitrary ids, durations (including
+    /// non-finite ones, which JSON maps through null), and outcomes.
+    #[test]
+    fn stats_responses_round_trip_arbitrary_snapshots(
+        capacity in any::<u64>(),
+        used in any::<u64>(),
+        objects in any::<u64>(),
+        counts in proptest::collection::vec(any::<u32>(), 0..4),
+        entries in proptest::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let mut metrics = MetricsRegistry::new();
+        for (i, c) in counts.iter().enumerate() {
+            let op = format!("op-{i}");
+            let h = metrics.counter("node_requests_total", &[("op", &op)]);
+            metrics.inc(h, *c as u64);
+            let lat = metrics.histogram("node_request_latency_ms", &[("op", &op)], &[1.0, 10.0]);
+            metrics.observe(lat, *c as f64);
+        }
+        // Each seed expands into one op-log entry: traced/untraced, op,
+        // duration, and outcome all derived from its bits.
+        let ops = ["ping", "store_block", "fetch_block"];
+        let op_log = entries
+            .iter()
+            .map(|seed| {
+                let slow = seed & 2 != 0;
+                OpLogEntry {
+                    request_id: (seed & 1 == 0).then_some(seed >> 3),
+                    op: ops[(*seed as usize >> 2) % ops.len()].to_string(),
+                    duration_ms: (seed >> 16) as f64 / 128.0,
+                    outcome: if slow { "bad_request" } else { "ok" }.to_string(),
+                    slow,
+                }
+            })
+            .collect();
+        let resp = Response::Stats {
+            stats: Box::new(NodeStats {
+                node: Id::hash("node-p"),
+                capacity: ByteSize::bytes(capacity),
+                used: ByteSize::bytes(used),
+                objects,
+                metrics: metrics.export(),
+                op_log,
+            }),
+        };
+        let bytes = encode_response(&resp);
+        prop_assert_eq!(read_response(&mut bytes.as_slice()).unwrap(), resp);
+    }
+
+    /// Any request id survives a traced round-trip on any request kind, and
+    /// traced frames still parse on the untraced path (the id is simply
+    /// dropped), so tracing is backward-compatible.
+    #[test]
+    fn request_ids_round_trip_and_degrade_gracefully(
+        traced in any::<bool>(),
+        rid_value in any::<u64>(),
+        which in 0u8..4,
+    ) {
+        let rid = traced.then_some(rid_value);
+        let name = ObjectName::block("f", 0, 0);
+        let req = match which {
+            0 => Request::Ping,
+            1 => Request::GetStats,
+            2 => Request::FetchBlock { name },
+            _ => Request::StoreBlock {
+                key: name.key(),
+                name,
+                size: ByteSize::kb(1),
+                payload: Some(vec![9; 8]),
+            },
+        };
+        let mut bytes = Vec::new();
+        write_request_traced(&mut bytes, &req, rid).unwrap();
+        let (back, back_rid) = read_request_traced(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(back_rid, rid);
+        prop_assert_eq!(read_request(&mut bytes.as_slice()).unwrap(), req);
+
+        let resp = Response::Pong { node: Id::hash("n") };
+        let mut bytes = Vec::new();
+        write_response_traced(&mut bytes, &resp, rid).unwrap();
+        let (back, back_rid) = read_response_traced(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(&back, &resp);
+        prop_assert_eq!(back_rid, rid);
         prop_assert_eq!(read_response(&mut bytes.as_slice()).unwrap(), resp);
     }
 }

@@ -327,6 +327,59 @@ impl MetricsRegistry {
         }
     }
 
+    /// Fold an exported snapshot into `self`, adding `extra` labels to every
+    /// metric — how a monitor merges per-node exports into one registry whose
+    /// series carry a `("node", name)` label.  Counters add, gauges take the
+    /// export's value, histograms merge when bucket edges agree (and are
+    /// skipped otherwise), exactly like [`MetricsRegistry::merge`].
+    pub fn absorb_export(&mut self, export: &RegistryExport, extra: &[(&str, &str)]) {
+        let with_extra = |labels: &[(String, String)]| -> Vec<(String, String)> {
+            let mut out: Vec<(String, String)> = labels.to_vec();
+            out.extend(extra.iter().map(|(k, v)| (k.to_string(), v.to_string())));
+            out.sort();
+            out
+        };
+        for c in &export.counters {
+            let key = MetricKey {
+                name: c.name.clone(),
+                labels: with_extra(&c.labels),
+                kind: Kind::Counter,
+            };
+            let idx = self.register(key, Slot::Counter(0));
+            if let Some((_, Slot::Counter(mine))) = self.slots.get_mut(idx) {
+                *mine += c.value;
+            }
+        }
+        for g in &export.gauges {
+            let key = MetricKey {
+                name: g.name.clone(),
+                labels: with_extra(&g.labels),
+                kind: Kind::Gauge,
+            };
+            let idx = self.register(key, Slot::Gauge(0.0));
+            if let Some((_, Slot::Gauge(mine))) = self.slots.get_mut(idx) {
+                *mine = g.value;
+            }
+        }
+        for h in &export.histograms {
+            let key = MetricKey {
+                name: h.name.clone(),
+                labels: with_extra(&h.labels),
+                kind: Kind::Histogram,
+            };
+            let incoming = Histogram {
+                bounds: h.bounds.clone(),
+                counts: h.bucket_counts.clone(),
+                count: h.count,
+                sum: h.sum,
+            };
+            let idx = self.register(key, Slot::Histogram(Histogram::new(&h.bounds)));
+            if let Some((_, Slot::Histogram(mine))) = self.slots.get_mut(idx) {
+                let _ = mine.merge(&incoming);
+            }
+        }
+    }
+
     /// Snapshot the registry into serializable export records, in key order.
     pub fn export(&self) -> RegistryExport {
         let mut export = RegistryExport::default();
@@ -402,6 +455,30 @@ pub struct HistogramExport {
     pub bounds: Vec<f64>,
     /// Per-bucket counts; the last entry is the overflow bucket.
     pub bucket_counts: Vec<u64>,
+}
+
+impl HistogramExport {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts: the
+    /// inclusive upper edge of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`.  Observations in the overflow bucket report the last
+    /// finite edge (the estimate saturates rather than inventing a value).
+    /// Returns 0 for an empty histogram.  Upper-edge reporting is coarse but
+    /// deterministic — exactly what a reproducible health report needs.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.bucket_counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let edge = self.bounds.get(i).or_else(|| self.bounds.last());
+                return edge.copied().unwrap_or(0.0);
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
 }
 
 /// A whole-registry snapshot, serializable via the vendored serde.
@@ -528,5 +605,77 @@ mod tests {
 
         let back: RegistryExport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, reg.export());
+    }
+
+    #[test]
+    fn absorb_export_adds_the_extra_labels_and_accumulates() {
+        let mut node = MetricsRegistry::new();
+        let c = node.counter("reqs", &[("op", "ping")]);
+        node.inc(c, 3);
+        let h = node.histogram("lat", &[], &[1.0, 10.0]);
+        node.observe(h, 0.5);
+        node.observe(h, 5.0);
+        let g = node.gauge("occ", &[]);
+        node.set(g, 42.0);
+        let export = node.export();
+
+        let mut merged = MetricsRegistry::new();
+        merged.absorb_export(&export, &[("node", "node-0")]);
+        merged.absorb_export(&export, &[("node", "node-0")]);
+        assert_eq!(
+            merged.find_counter("reqs", &[("op", "ping"), ("node", "node-0")]),
+            Some(6)
+        );
+        assert_eq!(merged.find_gauge("occ", &[("node", "node-0")]), Some(42.0));
+        let hist = merged
+            .find_histogram("lat", &[("node", "node-0")])
+            .map(|h| (h.count(), h.bucket_counts().to_vec()));
+        assert_eq!(hist, Some((4, vec![2, 2, 0])));
+        // The unlabelled originals were not created.
+        assert_eq!(merged.find_counter("reqs", &[("op", "ping")]), None);
+    }
+
+    #[test]
+    fn histogram_export_quantiles_report_bucket_upper_edges() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for _ in 0..90 {
+            h.observe(0.5);
+        }
+        for _ in 0..9 {
+            h.observe(5.0);
+        }
+        h.observe(50.0);
+        let he = HistogramExport {
+            name: "h".into(),
+            labels: vec![],
+            count: h.count(),
+            sum: h.sum(),
+            bounds: h.bounds().to_vec(),
+            bucket_counts: h.bucket_counts().to_vec(),
+        };
+        assert_eq!(he.quantile(0.5), 1.0);
+        assert_eq!(he.quantile(0.99), 10.0);
+        assert_eq!(he.quantile(1.0), 100.0);
+
+        let empty = HistogramExport {
+            name: "e".into(),
+            labels: vec![],
+            count: 0,
+            sum: 0.0,
+            bounds: vec![1.0],
+            bucket_counts: vec![0, 0],
+        };
+        assert_eq!(empty.quantile(0.99), 0.0);
+
+        // Overflow observations saturate at the last finite edge.
+        let overflow = HistogramExport {
+            name: "o".into(),
+            labels: vec![],
+            count: 1,
+            sum: 500.0,
+            bounds: vec![1.0],
+            bucket_counts: vec![0, 1],
+        };
+        assert_eq!(overflow.quantile(0.5), 1.0);
     }
 }

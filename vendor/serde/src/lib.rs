@@ -249,6 +249,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// A `Value` serializes and deserializes as itself, so callers can render or
+// parse raw `Value` trees through `serde_json` — the escape hatch protocol
+// code uses to splice extra fields into an otherwise typed JSON object.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
