@@ -16,8 +16,12 @@
 //! * [`rs::ReedSolomonCode`] — systematic GF(2⁸) Reed–Solomon: the optimal
 //!   erasure code (any `n` of `m` blocks decode, with certainty) whose cost the
 //!   paper's Section 4.2 trade-off discussion weighs the online code against.
-//!   Built on [`gf256`] field kernels and [`matrix`] linear algebra, with a
-//!   thread-sharded parallel encode path for multi-megabyte chunks.
+//!   Built on [`gf256`] field kernels (wide-lane split-nibble `nibble64` by
+//!   default, with the scalar reference kernel selectable via
+//!   [`gf256::Gf256Kernel`]) and [`matrix`] linear algebra, with cache-blocked
+//!   parity application and a chunk-granular column-stripe parallel encode
+//!   ([`pipeline`] streams stripes to downstream placement/dissemination
+//!   stages).
 //!
 //! [`measure`] provides the timing/size harness behind Table 2, including
 //! decode timing from an exactly-minimal block subset.
@@ -31,13 +35,16 @@ pub mod matrix;
 pub mod measure;
 pub mod null;
 pub mod online;
+pub mod pipeline;
 pub mod rs;
 pub mod xor;
 
 pub use code::{DecodeError, EncodedBlock, ErasureCode};
+pub use gf256::{Gf256Kernel, PreparedCoeff};
 pub use matrix::GfMatrix;
 pub use measure::{measure_code, CodeCost};
 pub use null::NullCode;
 pub use online::OnlineCode;
+pub use pipeline::EncodedStripe;
 pub use rs::ReedSolomonCode;
 pub use xor::XorCode;

@@ -81,6 +81,12 @@ impl GfMatrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [u8] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// The matrix formed by the given rows of `self`, in the given order.
     pub fn select_rows(&self, indices: &[usize]) -> GfMatrix {
         let mut m = GfMatrix::zero(indices.len(), self.cols);
@@ -97,17 +103,13 @@ impl GfMatrix {
             "dimension mismatch: {}×{} · {}×{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        // Each `(r, k)` term is `out.row(r) ^= a · other.row(k)` — the same
+        // accumulate shape as parity generation, so it runs on the slice
+        // kernels rather than per-entry field multiplies.
         let mut out = GfMatrix::zero(self.rows, other.cols);
         for r in 0..self.rows {
             for k in 0..self.cols {
-                let a = self.get(r, k);
-                if a == 0 {
-                    continue;
-                }
-                for c in 0..other.cols {
-                    let v = out.get(r, c) ^ gf256::mul(a, other.get(k, c));
-                    out.set(r, c, v);
-                }
+                gf256::mul_add_slice(self.get(r, k), other.row(k), out.row_mut(r));
             }
         }
         out

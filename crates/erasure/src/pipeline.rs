@@ -1,0 +1,277 @@
+//! Chunk-granular streaming encode: fixed-size column stripes of parity flow
+//! from encode workers to a downstream consumer (placement planning,
+//! dissemination) while later stripes are still being computed.
+//!
+//! [`ReedSolomonCode::encode_with_workers`] parallelises a *single* encode but
+//! still materialises the whole parity set before returning.  When the encode
+//! feeds a store path — plan placements for a stripe, push its bytes to the
+//! ring, move on — that barrier wastes the overlap between CPU (encode) and
+//! I/O (dissemination).  [`ReedSolomonCode::encode_stripes`] removes it:
+//!
+//! ```text
+//!   chunk ──► [encode workers: claim stripe, tile-apply parity] ──►
+//!             [reorder to stripe order] ──► sink(stripe)  (caller thread)
+//! ```
+//!
+//! Stripes are *column ranges* over all parity rows, so every stripe is
+//! self-contained: together with the (systematic, pass-through) data blocks
+//! it is exactly the bytes a disseminator ships for those columns.  The sink
+//! always runs on the calling thread and always observes stripes in ascending
+//! index order — with any worker count, on any machine — so downstream stages
+//! stay deterministic.  With `workers <= 1` the whole pipeline runs inline
+//! with **zero** thread spawns (the 1-CPU fast path; pinned by a test against
+//! the spawn counter below).
+
+use crate::code::{split_into_blocks, EncodedBlock};
+use crate::rs::{apply_parity_stripe, available_workers, ReedSolomonCode};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+thread_local! {
+    /// Worker threads spawned by *this* thread's encode calls.
+    static SPAWNED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record one worker spawn on behalf of the calling thread.
+pub(crate) fn note_spawn() {
+    SPAWNED.with(|c| c.set(c.get() + 1));
+}
+
+/// Total encode worker threads spawned by the calling thread so far.
+///
+/// Test instrumentation for the single-CPU degenerate case: the counter is
+/// thread-local, so a test reads it before and after an encode and asserts
+/// the delta without interference from concurrently running tests.
+pub fn spawned_workers() -> u64 {
+    SPAWNED.with(|c| c.get())
+}
+
+/// One encoded column stripe: columns `cols` of every parity block, in row
+/// order.  The data blocks are systematic (the chunk's own bytes), so a
+/// consumer slices them from the chunk directly; only parity is carried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedStripe {
+    /// Stripe sequence number, ascending from 0; the sink sees them in order.
+    pub index: usize,
+    /// The column range of every parity block this stripe covers.
+    pub cols: Range<usize>,
+    /// `parity[r]` holds columns `cols` of parity row `r`.
+    pub parity: Vec<Vec<u8>>,
+}
+
+impl ReedSolomonCode {
+    /// Stream-encode `chunk` in column stripes of at most `stripe_bytes`,
+    /// delivering each [`EncodedStripe`] to `sink` in ascending stripe order
+    /// on the calling thread.
+    ///
+    /// `workers <= 1` computes every stripe inline (zero spawns); otherwise
+    /// up to `workers` scoped threads claim stripes from a shared counter and
+    /// a bounded channel + reorder buffer restores stripe order before the
+    /// sink runs.  Concatenating the stripes of every parity row yields
+    /// exactly the parity blocks of [`ReedSolomonCode::encode_serial`].
+    pub fn encode_stripes(
+        &self,
+        chunk: &[u8],
+        stripe_bytes: usize,
+        workers: usize,
+        mut sink: impl FnMut(EncodedStripe),
+    ) {
+        let (sources, block_size) = split_into_blocks(chunk, self.data());
+        let prepared = self.prepared_parity_matrix();
+        let stripe_bytes = stripe_bytes.max(1);
+        let stripes = column_spans_by_width(block_size, stripe_bytes);
+        let encode_one = |span: &Range<usize>| -> Vec<Vec<u8>> {
+            let mut parity: Vec<Vec<u8>> = prepared.iter().map(|_| vec![0u8; span.len()]).collect();
+            let mut outs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+            apply_parity_stripe(&prepared, &sources, span.clone(), &mut outs);
+            parity
+        };
+        let workers = workers.clamp(1, stripes.len().max(1));
+        if workers <= 1 {
+            for (index, span) in stripes.iter().enumerate() {
+                sink(EncodedStripe {
+                    index,
+                    cols: span.clone(),
+                    parity: encode_one(span),
+                });
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::sync_channel::<(usize, Vec<Vec<u8>>)>(workers * 2);
+        let stripes_ref = &stripes;
+        let next_ref = &next;
+        let encode_ref = &encode_one;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                note_spawn();
+                s.spawn(move || loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    let Some(span) = stripes_ref.get(i) else {
+                        break;
+                    };
+                    if tx.send((i, encode_ref(span))).is_err() {
+                        break; // receiver gone: the sink side is done
+                    }
+                });
+            }
+            drop(tx);
+            // Reorder: workers finish stripes out of order; hold early
+            // arrivals in a BTreeMap until their turn.
+            let mut pending: BTreeMap<usize, Vec<Vec<u8>>> = BTreeMap::new();
+            let mut due = 0usize;
+            for (index, parity) in rx {
+                pending.insert(index, parity);
+                while let Some(parity) = pending.remove(&due) {
+                    sink(EncodedStripe {
+                        index: due,
+                        cols: stripes[due].clone(),
+                        parity,
+                    });
+                    due += 1;
+                }
+            }
+            debug_assert!(pending.is_empty());
+        });
+    }
+
+    /// Assemble the full encoded-block set from a streamed encode — the
+    /// pipeline run as a batch API.  Equivalent to
+    /// [`ReedSolomonCode::encode_with_workers`]; exists so tests can pin the
+    /// stripe path against the batch path byte for byte.
+    pub fn encode_via_stripes(
+        &self,
+        chunk: &[u8],
+        stripe_bytes: usize,
+        workers: usize,
+    ) -> Vec<EncodedBlock> {
+        let (sources, block_size) = split_into_blocks(chunk, self.data());
+        let mut parity: Vec<Vec<u8>> = (0..self.parity())
+            .map(|_| Vec::with_capacity(block_size))
+            .collect();
+        self.encode_stripes(chunk, stripe_bytes, workers, |stripe| {
+            for (row, piece) in parity.iter_mut().zip(&stripe.parity) {
+                row.extend_from_slice(piece);
+            }
+        });
+        sources
+            .into_iter()
+            .chain(parity)
+            .enumerate()
+            .map(|(i, b)| EncodedBlock::new(i as u32, b))
+            .collect()
+    }
+
+    /// [`ReedSolomonCode::encode_stripes`] with the worker count sized from
+    /// `available_parallelism()` (1 CPU → fully inline, zero spawns).
+    pub fn encode_stripes_auto(
+        &self,
+        chunk: &[u8],
+        stripe_bytes: usize,
+        sink: impl FnMut(EncodedStripe),
+    ) {
+        self.encode_stripes(chunk, stripe_bytes, available_workers(), sink);
+    }
+}
+
+/// Split `0..block_size` into contiguous spans of `width` bytes (last span
+/// ragged).  Zero-length blocks yield no spans.
+fn column_spans_by_width(block_size: usize, width: usize) -> Vec<Range<usize>> {
+    let mut spans = Vec::with_capacity(block_size.div_ceil(width.max(1)));
+    let mut start = 0;
+    while start < block_size {
+        let end = (start + width).min(block_size);
+        spans.push(start..end);
+        start = end;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peerstripe_sim::DetRng;
+
+    fn sample_chunk(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = DetRng::new(seed);
+        (0..len).map(|_| rng.next_u32() as u8).collect()
+    }
+
+    #[test]
+    fn stripe_assembly_matches_serial_encode() {
+        let code = ReedSolomonCode::new(5, 3);
+        for len in [0usize, 1, 4_096, 100_001, 1 << 20] {
+            let chunk = sample_chunk(len, 21);
+            let serial = code.encode_serial(&chunk);
+            for (stripe_bytes, workers) in [(1 << 14, 1), (1 << 14, 3), (777, 2), (1 << 20, 4)] {
+                assert_eq!(
+                    code.encode_via_stripes(&chunk, stripe_bytes, workers),
+                    serial,
+                    "len {len}, stripe {stripe_bytes}, workers {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sink_sees_stripes_in_order_with_full_coverage() {
+        let code = ReedSolomonCode::new(4, 2);
+        let chunk = sample_chunk(200_000, 22);
+        for workers in [1usize, 2, 5] {
+            let mut indices = Vec::new();
+            let mut covered = 0usize;
+            code.encode_stripes(&chunk, 8_192, workers, |stripe| {
+                indices.push(stripe.index);
+                assert_eq!(stripe.cols.start, covered, "gap before stripe");
+                assert_eq!(stripe.parity.len(), 2);
+                for row in &stripe.parity {
+                    assert_eq!(row.len(), stripe.cols.len());
+                }
+                covered = stripe.cols.end;
+            });
+            let expected: Vec<usize> = (0..indices.len()).collect();
+            assert_eq!(indices, expected, "workers {workers}");
+            assert_eq!(covered, chunk.len().div_ceil(4));
+        }
+    }
+
+    #[test]
+    fn inline_pipeline_spawns_no_threads() {
+        let code = ReedSolomonCode::new(8, 4);
+        let chunk = sample_chunk(1 << 20, 23);
+        let before = spawned_workers();
+        code.encode_stripes(&chunk, 1 << 14, 1, |_| {});
+        assert_eq!(spawned_workers(), before, "inline pipeline spawned");
+        code.encode_stripes(&chunk, 1 << 14, 3, |_| {});
+        assert_eq!(spawned_workers(), before + 3);
+    }
+
+    #[test]
+    fn worker_count_is_capped_by_stripe_count() {
+        // 2 stripes cannot occupy 8 workers; only as many threads as stripes.
+        let code = ReedSolomonCode::new(4, 2);
+        let chunk = sample_chunk(40_000, 24); // block_size 10_000
+        let before = spawned_workers();
+        code.encode_stripes(&chunk, 8_192, 8, |_| {});
+        assert_eq!(spawned_workers(), before + 2);
+    }
+
+    #[test]
+    fn empty_chunk_yields_no_stripes() {
+        let code = ReedSolomonCode::new(4, 2);
+        let mut calls = 0;
+        code.encode_stripes(&[], 4_096, 4, |_| calls += 1);
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn span_widths_cover_exactly() {
+        assert_eq!(column_spans_by_width(0, 10), vec![]);
+        assert_eq!(column_spans_by_width(10, 10), vec![0..10]);
+        assert_eq!(column_spans_by_width(25, 10), vec![0..10, 10..20, 20..25]);
+    }
+}

@@ -12,18 +12,43 @@
 //! The encode matrix is derived from a Vandermonde matrix put in systematic
 //! form ([`GfMatrix::systematic`]): the first `data` encoded blocks are the
 //! source blocks verbatim and every `data`-row submatrix stays invertible.
-//! Parity generation runs on the [`gf256`] slice kernels; for multi-megabyte
-//! chunks [`ReedSolomonCode::parallel_encode`] shards parity rows across
-//! `std::thread::scope` workers.
+//!
+//! # Encode engine
+//!
+//! Parity generation runs on the [`gf256`] slice kernels (selectable via
+//! [`ReedSolomonCode::with_kernel`]; the wide-lane `nibble64` kernel is the
+//! default) and is **cache-blocked**: every coefficient's kernel tables are
+//! prepared once per encode ([`gf256::PreparedCoeff`]), then the parity
+//! columns are walked in L1-sized tiles ([`TILE_BYTES`]) with the source tile
+//! reused across all parity rows while it is hot.  Parallelism is
+//! **chunk-granular** rather than parity-row-granular: workers own disjoint
+//! *column stripes* of every parity block (so a single stripe touches each
+//! cache line once, and the split does not degenerate when `parity <
+//! workers`).  [`ReedSolomonCode::encode_with_workers`] exposes the worker
+//! count; [`ReedSolomonCode::parallel_encode`] sizes it from
+//! `available_parallelism()` and — on a 1-CPU host — takes the serial path
+//! with **zero** thread spawns.  The streaming stage form of the same split
+//! lives in [`crate::pipeline`].
 
 use crate::code::{join_blocks, split_into_blocks, DecodeError, EncodedBlock, ErasureCode};
-use crate::gf256;
+use crate::gf256::{self, Gf256Kernel, PreparedCoeff};
 use crate::matrix::GfMatrix;
+use crate::pipeline;
 use std::ops::Range;
 
 /// Parity workloads at least this large (parity rows × block size) are sharded
 /// over threads by the default [`ErasureCode::encode`] path.
 pub const DEFAULT_PARALLEL_MIN_BYTES: usize = 1 << 20;
+
+/// Tile width (in bytes) for cache-blocked parity application.  One source
+/// tile plus one parity tile per row must fit in L1/L2 alongside the kernel
+/// tables; 16 KiB keeps `tile × (1 + parity_rows_in_flight)` well under
+/// typical 256 KiB L2 slices while amortising loop overhead.
+pub(crate) const TILE_BYTES: usize = 16 * 1024;
+
+/// Workers get at least this many parity columns each; below that the spawn
+/// and join overhead outweighs the arithmetic.
+const MIN_WORKER_SPAN_BYTES: usize = 4 * 1024;
 
 /// Systematic Reed–Solomon code: `data` source blocks, `parity` parity blocks,
 /// any `data` of the `data + parity` encoded blocks decode.
@@ -35,6 +60,7 @@ pub struct ReedSolomonCode {
     /// top `data` rows are the identity and are never materialised.
     coef: GfMatrix,
     parallel_min_bytes: usize,
+    kernel: Gf256Kernel,
 }
 
 impl ReedSolomonCode {
@@ -58,6 +84,7 @@ impl ReedSolomonCode {
             parity,
             coef: enc.select_rows(&parity_rows),
             parallel_min_bytes: DEFAULT_PARALLEL_MIN_BYTES,
+            kernel: Gf256Kernel::best(),
         }
     }
 
@@ -66,6 +93,19 @@ impl ReedSolomonCode {
     pub fn with_parallel_threshold(mut self, bytes: usize) -> Self {
         self.parallel_min_bytes = bytes;
         self
+    }
+
+    /// Pin the GF(256) slice kernel (default: [`Gf256Kernel::best`]).  The
+    /// `scalar` kernel is the reference implementation; both produce
+    /// byte-identical blocks.
+    pub fn with_kernel(mut self, kernel: Gf256Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The GF(256) slice kernel this code encodes and decodes with.
+    pub fn kernel(&self) -> Gf256Kernel {
+        self.kernel
     }
 
     /// Number of data blocks (also the decode threshold).
@@ -78,21 +118,16 @@ impl ReedSolomonCode {
         self.parity
     }
 
-    /// Compute parity rows `rows` over the source blocks.
-    fn parity_rows(
-        &self,
-        sources: &[Vec<u8>],
-        block_size: usize,
-        rows: Range<usize>,
-    ) -> Vec<Vec<u8>> {
-        rows.map(|r| {
-            let mut out = vec![0u8; block_size];
-            for (j, src) in sources.iter().enumerate() {
-                gf256::mul_add_slice(self.coef.get(r, j), src, &mut out);
-            }
-            out
-        })
-        .collect()
+    /// Prepare every parity coefficient's kernel tables once, so the tiled
+    /// loops below never rebuild them per tile.
+    pub(crate) fn prepared_parity_matrix(&self) -> Vec<Vec<PreparedCoeff>> {
+        (0..self.parity)
+            .map(|r| {
+                (0..self.data)
+                    .map(|j| PreparedCoeff::new(self.kernel, self.coef.get(r, j)))
+                    .collect()
+            })
+            .collect()
     }
 
     fn assemble(&self, sources: Vec<Vec<u8>>, parity: Vec<Vec<u8>>) -> Vec<EncodedBlock> {
@@ -118,7 +153,8 @@ impl ReedSolomonCode {
                 } else {
                     let mut out = vec![0u8; block_size];
                     for (j, src) in sources.iter().enumerate() {
-                        gf256::mul_add_slice(
+                        gf256::mul_add_slice_with(
+                            self.kernel,
                             self.coef.get(r as usize - self.data, j),
                             src,
                             &mut out,
@@ -133,47 +169,115 @@ impl ReedSolomonCode {
 
     /// Encode on the calling thread only.
     pub fn encode_serial(&self, chunk: &[u8]) -> Vec<EncodedBlock> {
+        self.encode_with_workers(chunk, 1)
+    }
+
+    /// Encode with parity columns sharded over up to `workers`
+    /// `std::thread::scope` workers (chunk-granular column stripes).
+    ///
+    /// Produces bit-identical output to [`ReedSolomonCode::encode_serial`]
+    /// for every worker count.  `workers <= 1` runs entirely on the calling
+    /// thread — zero spawns (pinned by a spawn-counting test) — and the
+    /// effective worker count is capped so every stripe keeps at least a few
+    /// KiB of parity columns.
+    pub fn encode_with_workers(&self, chunk: &[u8], workers: usize) -> Vec<EncodedBlock> {
         let (sources, block_size) = split_into_blocks(chunk, self.data);
-        let parity = self.parity_rows(&sources, block_size, 0..self.parity);
+        let prepared = self.prepared_parity_matrix();
+        let mut parity: Vec<Vec<u8>> = (0..self.parity).map(|_| vec![0u8; block_size]).collect();
+        let workers = workers.clamp(1, block_size.div_ceil(MIN_WORKER_SPAN_BYTES).max(1));
+        if workers <= 1 {
+            let mut outs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+            apply_parity_stripe(&prepared, &sources, 0..block_size, &mut outs);
+            return self.assemble(sources, parity);
+        }
+        let spans = column_spans(block_size, workers);
+        // Split every parity row at the span boundaries and regroup the
+        // pieces per worker: job `w` owns columns `spans[w]` of ALL rows.
+        let mut jobs: Vec<Vec<&mut [u8]>> = spans
+            .iter()
+            .map(|_| Vec::with_capacity(self.parity))
+            .collect();
+        for row in parity.iter_mut() {
+            let mut rest: &mut [u8] = row.as_mut_slice();
+            for (job, span) in jobs.iter_mut().zip(&spans) {
+                let (piece, tail) = rest.split_at_mut(span.len());
+                job.push(piece);
+                rest = tail;
+            }
+        }
+        let sources_ref = &sources;
+        let prepared_ref = &prepared;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .zip(spans)
+                .map(|(mut outs, span)| {
+                    pipeline::note_spawn();
+                    s.spawn(move || apply_parity_stripe(prepared_ref, sources_ref, span, &mut outs))
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("parity worker panicked"); // lint:allow(panic) -- worker panic is unrecoverable; propagate it to the caller
+            }
+        });
         self.assemble(sources, parity)
     }
 
-    /// Encode with parity rows sharded over `std::thread::scope` workers.
+    /// Encode with the worker count sized from `available_parallelism()`.
     ///
-    /// Produces bit-identical output to [`ReedSolomonCode::encode_serial`];
-    /// worth it once the parity workload reaches a few megabytes.
+    /// On a single-CPU host this is exactly [`ReedSolomonCode::encode_serial`]
+    /// — no threads are spawned.
     pub fn parallel_encode(&self, chunk: &[u8]) -> Vec<EncodedBlock> {
-        let (sources, block_size) = split_into_blocks(chunk, self.data);
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(self.parity);
-        if workers <= 1 {
-            let parity = self.parity_rows(&sources, block_size, 0..self.parity);
-            return self.assemble(sources, parity);
+        self.encode_with_workers(chunk, available_workers())
+    }
+}
+
+/// `available_parallelism()`, defaulting to 1 when the host cannot say.
+pub(crate) fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `0..block_size` into `workers` contiguous column spans (the first
+/// `block_size % workers` spans one byte larger).
+pub(crate) fn column_spans(block_size: usize, workers: usize) -> Vec<Range<usize>> {
+    let per = block_size / workers;
+    let rem = block_size % workers;
+    let mut spans = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = per + usize::from(w < rem);
+        spans.push(start..start + len);
+        start += len;
+    }
+    spans
+}
+
+/// Accumulate every parity row's coefficients over columns `cols` of the
+/// source blocks, cache-blocked: tiles are outermost so one source tile is
+/// streamed through all parity rows while it is hot in L1/L2.
+///
+/// `outs[r]` is the slice of parity row `r` covering exactly `cols` (workers
+/// hand in disjoint `split_at_mut` views of the full rows); it must be
+/// zero-initialised.
+pub(crate) fn apply_parity_stripe(
+    prepared: &[Vec<PreparedCoeff>],
+    sources: &[Vec<u8>],
+    cols: Range<usize>,
+    outs: &mut [&mut [u8]],
+) {
+    debug_assert_eq!(prepared.len(), outs.len());
+    let mut tile_start = cols.start;
+    while tile_start < cols.end {
+        let tile_end = (tile_start + TILE_BYTES).min(cols.end);
+        for (row, out) in prepared.iter().zip(outs.iter_mut()) {
+            let dst = &mut out[tile_start - cols.start..tile_end - cols.start];
+            for (coeff, src) in row.iter().zip(sources) {
+                coeff.mul_add(&src[tile_start..tile_end], dst);
+            }
         }
-        // Contiguous row spans, the first `rem` spans one row larger.
-        let per = self.parity / workers;
-        let rem = self.parity % workers;
-        let mut spans = Vec::with_capacity(workers);
-        let mut start = 0;
-        for w in 0..workers {
-            let len = per + usize::from(w < rem);
-            spans.push(start..start + len);
-            start += len;
-        }
-        let sources_ref = &sources;
-        let parity: Vec<Vec<u8>> = std::thread::scope(|s| {
-            let handles: Vec<_> = spans
-                .into_iter()
-                .map(|span| s.spawn(move || self.parity_rows(sources_ref, block_size, span)))
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("parity worker panicked")) // lint:allow(panic) -- worker panic is unrecoverable; propagate it to the caller
-                .collect()
-        });
-        self.assemble(sources, parity)
+        tile_start = tile_end;
     }
 }
 
@@ -290,7 +394,7 @@ impl ErasureCode for ReedSolomonCode {
             }
             let mut out = vec![0u8; block_size];
             for (i, rec) in received.iter().enumerate() {
-                gf256::mul_add_slice(inv.get(j, i), rec, &mut out);
+                gf256::mul_add_slice_with(self.kernel, inv.get(j, i), rec, &mut out);
             }
             sources.push(out);
         }
@@ -391,6 +495,95 @@ mod tests {
                 "len {len}"
             );
         }
+    }
+
+    #[test]
+    fn every_worker_count_matches_serial() {
+        // Column striping must be invisible in the output for any split,
+        // including worker counts above the span cap and above block_size.
+        let code = ReedSolomonCode::new(5, 3);
+        let chunk = sample_chunk(300_000, 11);
+        let serial = code.encode_serial(&chunk);
+        for workers in [2usize, 3, 4, 7, 64] {
+            assert_eq!(
+                code.encode_with_workers(&chunk, workers),
+                serial,
+                "workers {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_worker_spawns_no_threads() {
+        // The 1-CPU degenerate case: workers <= 1 must run entirely on the
+        // calling thread.  The spawn counter is thread-local, so parallel
+        // test execution cannot perturb it.
+        let code = ReedSolomonCode::new(8, 4);
+        let chunk = sample_chunk(1 << 20, 12);
+        let before = pipeline::spawned_workers();
+        let blocks = code.encode_with_workers(&chunk, 1);
+        assert_eq!(pipeline::spawned_workers(), before, "serial path spawned");
+        assert_eq!(blocks, code.encode_serial(&chunk));
+        // And the threaded path does spawn (counted from this thread).
+        let threaded = code.encode_with_workers(&chunk, 2);
+        assert_eq!(pipeline::spawned_workers(), before + 2);
+        assert_eq!(threaded, blocks);
+    }
+
+    #[test]
+    fn tiny_blocks_do_not_spawn() {
+        // The span cap folds sub-4KiB parity blocks back to the serial path
+        // even when many workers are requested.
+        let code = ReedSolomonCode::new(4, 2);
+        let chunk = sample_chunk(1_000, 13);
+        let before = pipeline::spawned_workers();
+        let _ = code.encode_with_workers(&chunk, 8);
+        assert_eq!(pipeline::spawned_workers(), before);
+    }
+
+    #[test]
+    fn kernels_produce_identical_blocks() {
+        let chunk = sample_chunk(200_000, 14);
+        let reference = ReedSolomonCode::new(8, 4)
+            .with_kernel(Gf256Kernel::Scalar)
+            .encode_serial(&chunk);
+        for kernel in Gf256Kernel::ALL {
+            let code = ReedSolomonCode::new(8, 4).with_kernel(kernel);
+            assert_eq!(code.kernel(), kernel);
+            assert_eq!(code.encode_serial(&chunk), reference, "kernel {kernel}");
+            assert_eq!(
+                code.encode_with_workers(&chunk, 3),
+                reference,
+                "kernel {kernel} striped"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_kernel_decode_round_trip() {
+        // Blocks encoded under one kernel decode under the other: the kernels
+        // compute the same field, so artifacts are interchangeable.
+        let chunk = sample_chunk(5_000, 15);
+        let scalar = ReedSolomonCode::new(5, 3).with_kernel(Gf256Kernel::Scalar);
+        let fast = ReedSolomonCode::new(5, 3).with_kernel(Gf256Kernel::Nibble64);
+        let blocks = scalar.encode(&chunk);
+        let subset: Vec<EncodedBlock> = blocks.into_iter().skip(3).collect();
+        assert_eq!(fast.decode(&subset, chunk.len()).unwrap(), chunk);
+        let blocks = fast.encode(&chunk);
+        let subset: Vec<EncodedBlock> = blocks.into_iter().skip(3).collect();
+        assert_eq!(scalar.decode(&subset, chunk.len()).unwrap(), chunk);
+    }
+
+    #[test]
+    fn reencode_matches_across_kernels() {
+        let chunk = sample_chunk(40_000, 16);
+        let scalar = ReedSolomonCode::new(6, 3).with_kernel(Gf256Kernel::Scalar);
+        let fast = ReedSolomonCode::new(6, 3).with_kernel(Gf256Kernel::Nibble64);
+        let encoded = scalar.encode(&chunk);
+        let surviving: Vec<EncodedBlock> = encoded.iter().skip(3).cloned().collect();
+        let a = scalar.reencode(&surviving, chunk.len(), &[0, 7]).unwrap();
+        let b = fast.reencode(&surviving, chunk.len(), &[0, 7]).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

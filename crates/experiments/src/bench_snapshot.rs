@@ -5,8 +5,9 @@
 //! The snapshots mirror `crates/bench/benches/repair_schedule.rs`,
 //! `detector_decide.rs` and `placement_decide.rs` exactly (same deployment,
 //! same churn, same decide loop) — plus a `wire_roundtrip` snapshot covering
-//! the networked path's frame encode/decode — but run each measurement a
-//! handful of times and keep the best —
+//! the networked path's frame encode/decode and an `rs_encode` snapshot
+//! covering erasure-encode throughput (scalar vs `nibble64` kernel vs
+//! parallel) — but run each measurement a handful of times and keep the best —
 //! good enough to catch an order-of-magnitude regression without criterion's
 //! multi-minute statistics.  Numbers are machine-dependent by nature; the
 //! committed files record the machine-independent *shape* (events processed,
@@ -406,10 +407,57 @@ pub fn run_wire_roundtrip_snapshot(config: &BenchSnapshotConfig) -> BenchSnapsho
     }
 }
 
-/// Run all four snapshots and write them under `dir` as
+/// Reed–Solomon encode throughput: serial `scalar` kernel vs serial
+/// `nibble64` kernel vs the column-stripe parallel path, at RS(5, 3) and
+/// RS(8, 4) over 1 MB and 4 MB chunks (mirrors `rs_encode.rs`).  `per_sec`
+/// is source **bytes** per second; all three paths are cross-checked for
+/// byte-identical blocks before any number is recorded, so a kernel bug
+/// fails the snapshot rather than polluting it.
+pub fn run_rs_encode_snapshot(config: &BenchSnapshotConfig) -> BenchSnapshot {
+    use peerstripe_erasure::{Gf256Kernel, ReedSolomonCode};
+    let mut rows = Vec::new();
+    for (data, parity) in [(5usize, 3usize), (8, 4)] {
+        let scalar = ReedSolomonCode::new(data, parity).with_kernel(Gf256Kernel::Scalar);
+        let fast = ReedSolomonCode::new(data, parity).with_kernel(Gf256Kernel::Nibble64);
+        for mb in [1u64, 4] {
+            let size = ByteSize::mb(mb);
+            let mut rng = DetRng::new(config.seed);
+            let chunk: Vec<u8> = (0..size.as_u64()).map(|_| rng.next_u64() as u8).collect();
+            let reference = scalar.encode_serial(&chunk);
+            assert_eq!(reference, fast.encode_serial(&chunk), "kernel mismatch");
+            assert_eq!(reference, fast.parallel_encode(&chunk), "parallel mismatch");
+            let paths: [(&str, &dyn Fn() -> Vec<peerstripe_erasure::EncodedBlock>); 3] = [
+                ("serial_scalar", &|| scalar.encode_serial(&chunk)),
+                ("serial_nibble64", &|| fast.encode_serial(&chunk)),
+                ("parallel", &|| fast.parallel_encode(&chunk)),
+            ];
+            for (label, encode) in paths {
+                let mut best = 0.0f64;
+                for _ in 0..REPS {
+                    let started = Instant::now();
+                    std::hint::black_box(encode());
+                    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+                    best = best.max(size.as_u64() as f64 / elapsed);
+                }
+                rows.push(BenchRow {
+                    id: format!("rs_{data}p{parity}/{mb}_mb/{label}"),
+                    work_units: size.as_u64(),
+                    per_sec: best,
+                });
+            }
+        }
+    }
+    BenchSnapshot {
+        name: "rs_encode".to_string(),
+        seed: config.seed,
+        rows,
+    }
+}
+
+/// Run all five snapshots and write them under `dir` as
 /// `BENCH_repair_schedule.json`, `BENCH_detector_decide.json`,
-/// `BENCH_placement_decide.json` and `BENCH_wire_roundtrip.json`.  Returns
-/// the written paths.
+/// `BENCH_placement_decide.json`, `BENCH_wire_roundtrip.json` and
+/// `BENCH_rs_encode.json`.  Returns the written paths.
 pub fn write_snapshots(dir: &Path, config: &BenchSnapshotConfig) -> Result<Vec<PathBuf>, String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let mut written = Vec::new();
@@ -418,6 +466,7 @@ pub fn write_snapshots(dir: &Path, config: &BenchSnapshotConfig) -> Result<Vec<P
         run_detector_decide_snapshot(config),
         run_placement_decide_snapshot(config),
         run_wire_roundtrip_snapshot(config),
+        run_rs_encode_snapshot(config),
     ] {
         let path = dir.join(format!("BENCH_{}.json", snapshot.name));
         std::fs::write(&path, snapshot.render_json())
@@ -526,12 +575,13 @@ pub fn check_repair_schedule(dir: &Path, config: &BenchSnapshotConfig) -> Result
     }
 }
 
-/// Re-measure **all four** committed snapshots — `repair_schedule`,
-/// `detector_decide`, `placement_decide`, and `wire_roundtrip` — and compare
-/// each against its `BENCH_*.json` under `dir`.  Rows without a committed
-/// baseline (e.g. the 200-node rows of a `--scale small` run against
-/// medium-scale baselines) are reported but skipped; any measured row below
-/// [`CHECK_TOLERANCE`] of its committed throughput fails the check.
+/// Re-measure **all five** committed snapshots — `repair_schedule`,
+/// `detector_decide`, `placement_decide`, `wire_roundtrip`, and `rs_encode`
+/// — and compare each against its `BENCH_*.json` under `dir`.  Rows without
+/// a committed baseline (e.g. the 200-node rows of a `--scale small` run
+/// against medium-scale baselines) are reported but skipped; any measured
+/// row below [`CHECK_TOLERANCE`] of its committed throughput fails the
+/// check.
 pub fn check_snapshots(dir: &Path, config: &BenchSnapshotConfig) -> Result<String, String> {
     let mut report = String::new();
     let mut failures = Vec::new();
@@ -540,6 +590,7 @@ pub fn check_snapshots(dir: &Path, config: &BenchSnapshotConfig) -> Result<Strin
         run_detector_decide_snapshot(config),
         run_placement_decide_snapshot(config),
         run_wire_roundtrip_snapshot(config),
+        run_rs_encode_snapshot(config),
     ] {
         check_one_snapshot(dir, &fresh, &mut report, &mut failures)?;
     }
@@ -636,6 +687,30 @@ mod tests {
     }
 
     #[test]
+    fn rs_encode_snapshot_covers_both_kernels_and_parallel() {
+        let config = BenchSnapshotConfig {
+            node_counts: vec![50],
+            seed: 7,
+        };
+        let snapshot = run_rs_encode_snapshot(&config);
+        assert_eq!(snapshot.name, "rs_encode");
+        // 2 geometries × 2 chunk sizes × 3 encode paths.
+        assert_eq!(snapshot.rows.len(), 12);
+        let ids: Vec<_> = snapshot.rows.iter().map(|r| r.id.as_str()).collect();
+        for needle in [
+            "rs_5p3/1_mb/serial_scalar",
+            "rs_5p3/4_mb/serial_nibble64",
+            "rs_8p4/1_mb/parallel",
+            "rs_8p4/4_mb/serial_scalar",
+        ] {
+            assert!(ids.contains(&needle), "missing {needle} in {ids:?}");
+        }
+        for row in &snapshot.rows {
+            assert!(row.per_sec > 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
     fn check_round_trips_a_written_snapshot() {
         let config = BenchSnapshotConfig {
             node_counts: vec![50],
@@ -664,6 +739,7 @@ mod tests {
             "detector_decide/",
             "placement_decide/plan_chunk/overlay-random/50_nodes",
             "wire_roundtrip/store_block/256_kib",
+            "rs_encode/rs_5p3/1_mb/serial_nibble64",
         ] {
             assert!(report.contains(needle), "missing {needle}:\n{report}");
         }

@@ -28,6 +28,10 @@
 //!                           recover a file through a real node kill
 //!   monitor                 scrape a localhost ring's node stats for N rounds
 //!                           and emit a cluster-health report
+//!   rs-check                GF(256) kernel-consistency gate: encode with the
+//!                           scalar and nibble64 kernels (serial, parallel,
+//!                           stripe pipeline), fail on any block mismatch or
+//!                           minimal-subset recovery failure
 //! ```
 
 use peerstripe_experiments::cli::run_experiment_with;
@@ -131,7 +135,8 @@ fn usage() -> String {
                 repro trace [--scenario <{}>] [--scale small|medium|paper] [--seed N] [--profile] [--out DIR]\n\
                 repro trace-summary FILE [--format text|json]\n\
                 repro ring [--scale small|medium|paper] [--seed N] [--format text|json] [--out DIR]\n\
-                repro monitor [--rounds N] [--scale small|medium|paper] [--seed N] [--format text|json] [--out DIR]",
+                repro monitor [--rounds N] [--scale small|medium|paper] [--seed N] [--format text|json] [--out DIR]\n\
+                repro rs-check [--scale small|medium|paper] [--seed N]",
         peerstripe_experiments::cli::EXPERIMENTS.join("|"),
         peerstripe_experiments::trace_cmd::SCENARIOS.join("|"),
     )
@@ -407,6 +412,22 @@ fn run_monitor(args: &Args) -> ! {
     std::process::exit(0);
 }
 
+/// `repro rs-check`: the GF(256) kernel-consistency gate (run in CI at
+/// `--scale small`).  Exit 0 only when every encode path agrees byte for
+/// byte and every minimal-subset decode recovers under both kernels.
+fn run_rs_check(args: &Args) -> ! {
+    match peerstripe_experiments::coding::run_rs_check(args.scale, args.seed) {
+        Ok(summary) => {
+            println!("{summary}");
+            std::process::exit(0);
+        }
+        Err(msg) => {
+            eprintln!("repro rs-check: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `repro trace-summary FILE`: digest an existing trace.
 fn run_trace_summary(args: &Args) -> ! {
     let Some(path) = &args.path else {
@@ -457,6 +478,7 @@ fn main() {
         "trace-summary" => run_trace_summary(&args),
         "ring" => run_ring(&args),
         "monitor" => run_monitor(&args),
+        "rs-check" => run_rs_check(&args),
         _ => {}
     }
     println!(

@@ -9,13 +9,19 @@
 //! separates optimal from sub-optimal codecs.
 //!
 //! [`run_rs_sweep`] sweeps Reed–Solomon (data, parity) geometries over chunk
-//! sizes and reports serial/parallel encode throughput, minimal-subset decode
-//! throughput, and minimal-subset recovery rates (always 100 % — the
-//! optimality property the sub-optimal codecs cannot offer).
+//! sizes and reports scalar-serial / vectorized-serial / parallel encode
+//! throughput side by side (the `scalar` reference kernel vs the wide-lane
+//! `nibble64` kernel vs the column-stripe threaded path), minimal-subset
+//! decode throughput, and minimal-subset recovery rates (always 100 % — the
+//! optimality property the sub-optimal codecs cannot offer).  Every sweep
+//! point also cross-checks that all three encode paths emit byte-identical
+//! blocks; [`run_rs_check`] packages that cross-check (plus recovery) as a
+//! pass/fail gate for CI.
 
 use crate::scale::Scale;
 use peerstripe_erasure::{
-    measure_code, CodeCost, ErasureCode, NullCode, OnlineCode, ReedSolomonCode, XorCode,
+    measure_code, CodeCost, ErasureCode, Gf256Kernel, NullCode, OnlineCode, ReedSolomonCode,
+    XorCode,
 };
 use peerstripe_sim::{ByteSize, DetRng};
 use std::time::Instant;
@@ -150,9 +156,12 @@ pub struct RsSweepRow {
     pub parity: usize,
     /// Chunk size encoded.
     pub chunk_size: ByteSize,
-    /// Serial encode throughput, MB/s of source data.
+    /// Serial encode throughput with the `scalar` reference kernel, MB/s of
+    /// source data — the pre-vectorization baseline.
+    pub scalar_mb_s: f64,
+    /// Serial encode throughput with the wide-lane `nibble64` kernel, MB/s.
     pub encode_mb_s: f64,
-    /// Parallel encode throughput, MB/s of source data.
+    /// Parallel (column-stripe) encode throughput, `nibble64` kernel, MB/s.
     pub parallel_encode_mb_s: f64,
     /// Decode throughput from exactly-minimal random subsets, MB/s.
     pub decode_mb_s: f64,
@@ -216,28 +225,38 @@ impl RsSweepConfig {
 }
 
 /// Run the Reed–Solomon (data, parity) sweep.
+///
+/// Every point encodes with the scalar reference kernel, the wide-lane
+/// `nibble64` kernel, and the column-stripe parallel path, and asserts all
+/// three emit byte-identical blocks before any throughput is reported.
 pub fn run_rs_sweep(config: &RsSweepConfig) -> RsSweep {
     let mut rng = DetRng::new(config.seed);
     let mut rows = Vec::new();
     for &(data, parity) in &config.geometries {
-        let code = ReedSolomonCode::new(data, parity);
+        let scalar_code = ReedSolomonCode::new(data, parity).with_kernel(Gf256Kernel::Scalar);
+        let code = ReedSolomonCode::new(data, parity).with_kernel(Gf256Kernel::Nibble64);
         for &chunk_size in &config.chunk_sizes {
             let chunk: Vec<u8> = (0..chunk_size.as_u64())
                 .map(|_| rng.next_u32() as u8)
                 .collect();
             let mb = chunk.len() as f64 / (1 << 20) as f64;
 
+            let mut scalar_s = f64::INFINITY;
             let mut serial_s = f64::INFINITY;
             let mut parallel_s = f64::INFINITY;
             let mut blocks = Vec::new();
             for _ in 0..config.runs.max(1) {
+                let start = Instant::now();
+                let scalar_blocks = scalar_code.encode_serial(&chunk);
+                scalar_s = scalar_s.min(start.elapsed().as_secs_f64());
                 let start = Instant::now();
                 blocks = code.encode_serial(&chunk);
                 serial_s = serial_s.min(start.elapsed().as_secs_f64());
                 let start = Instant::now();
                 let par = code.parallel_encode(&chunk);
                 parallel_s = parallel_s.min(start.elapsed().as_secs_f64());
-                debug_assert_eq!(par, blocks);
+                assert_eq!(scalar_blocks, blocks, "scalar vs nibble64 kernel mismatch");
+                assert_eq!(par, blocks, "parallel vs serial encode mismatch");
             }
 
             let mut recovered = 0usize;
@@ -261,6 +280,7 @@ pub fn run_rs_sweep(config: &RsSweepConfig) -> RsSweep {
                 data,
                 parity,
                 chunk_size,
+                scalar_mb_s: mb / scalar_s.max(1e-9),
                 encode_mb_s: mb / serial_s.max(1e-9),
                 parallel_encode_mb_s: mb / parallel_s.max(1e-9),
                 decode_mb_s: mb / decode_s.max(1e-9),
@@ -269,6 +289,73 @@ pub fn run_rs_sweep(config: &RsSweepConfig) -> RsSweep {
         }
     }
     RsSweep { rows }
+}
+
+/// The CI kernel-consistency gate behind `repro rs-check`.
+///
+/// For every geometry × chunk size of the scale's sweep, encode with the
+/// `scalar` kernel (serial), the `nibble64` kernel (serial and parallel), and
+/// the streaming stripe pipeline, require all four block sets byte-identical,
+/// then decode exactly-minimal random subsets under *both* kernels and
+/// require 100 % recovery.  `Ok` carries a human-readable summary; `Err`
+/// names the first failing point.
+pub fn run_rs_check(scale: Scale, seed: u64) -> Result<String, String> {
+    let config = RsSweepConfig::at_scale(scale, seed);
+    let mut rng = DetRng::new(seed ^ 0x5eed_c0de);
+    let mut points = 0usize;
+    let mut decodes = 0usize;
+    for &(data, parity) in &config.geometries {
+        let scalar_code = ReedSolomonCode::new(data, parity).with_kernel(Gf256Kernel::Scalar);
+        let fast_code = ReedSolomonCode::new(data, parity).with_kernel(Gf256Kernel::Nibble64);
+        for &chunk_size in &config.chunk_sizes {
+            let label = format!("RS({data},{parity}) @ {chunk_size}");
+            let chunk: Vec<u8> = (0..chunk_size.as_u64())
+                .map(|_| rng.next_u32() as u8)
+                .collect();
+            let reference = scalar_code.encode_serial(&chunk);
+            let fast = fast_code.encode_serial(&chunk);
+            if fast != reference {
+                return Err(format!("{label}: scalar vs nibble64 blocks differ"));
+            }
+            let parallel = fast_code.encode_with_workers(&chunk, 4);
+            if parallel != reference {
+                return Err(format!("{label}: parallel encode differs from serial"));
+            }
+            let striped = fast_code.encode_via_stripes(&chunk, 1 << 14, 3);
+            if striped != reference {
+                return Err(format!("{label}: stripe pipeline differs from serial"));
+            }
+            for trial in 0..config.subset_trials.max(1) {
+                let subset: Vec<_> = rng
+                    .sample_indices(reference.len(), fast_code.min_decode_blocks())
+                    .into_iter()
+                    .map(|i| reference[i].clone())
+                    .collect();
+                for code in [&scalar_code, &fast_code] {
+                    let kernel = code.kernel();
+                    match code.decode(&subset, chunk.len()) {
+                        Ok(decoded) if decoded == chunk => decodes += 1,
+                        Ok(_) => {
+                            return Err(format!(
+                                "{label}: {kernel} decode trial {trial} returned wrong bytes"
+                            ));
+                        }
+                        Err(e) => {
+                            return Err(format!(
+                                "{label}: {kernel} decode trial {trial} failed: {e}"
+                            ));
+                        }
+                    }
+                }
+            }
+            points += 1;
+        }
+    }
+    Ok(format!(
+        "rs-check ok: {points} points × 4 encode paths byte-identical, \
+         {decodes} minimal-subset decodes recovered (scalar + nibble64, lane {})",
+        Gf256Kernel::Nibble64.lane_label()
+    ))
 }
 
 #[cfg(test)]
@@ -346,10 +433,18 @@ mod tests {
         assert_eq!(sweep.rows.len(), 2);
         for row in &sweep.rows {
             assert_eq!(row.recovery_pct, 100.0, "RS({},{})", row.data, row.parity);
+            assert!(row.scalar_mb_s > 0.0);
             assert!(row.encode_mb_s > 0.0);
             assert!(row.parallel_encode_mb_s > 0.0);
             assert!(row.decode_mb_s > 0.0);
         }
+    }
+
+    #[test]
+    fn rs_check_passes_at_small_scale() {
+        let summary = run_rs_check(Scale::Small, 7).expect("kernel consistency gate");
+        assert!(summary.contains("rs-check ok"), "{summary}");
+        assert!(summary.contains("byte-identical"), "{summary}");
     }
 
     #[test]

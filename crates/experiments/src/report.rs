@@ -114,11 +114,12 @@ pub fn render_table2(t2: &Table2) -> String {
 /// Render the Reed–Solomon (data, parity) sweep.
 pub fn render_rs_sweep(sweep: &RsSweep) -> String {
     let mut t = TableBuilder::new(
-        "ReedSolomon sweep: encode/decode throughput and minimal-subset recovery",
+        "ReedSolomon sweep: serial/vectorized/parallel encode, decode, recovery",
         &[
             "RS(n, m)",
             "Chunk",
-            "Encode (MB/s)",
+            "Scalar (MB/s)",
+            "Nibble64 (MB/s)",
             "Par. encode (MB/s)",
             "Min-decode (MB/s)",
             "Recovery",
@@ -128,6 +129,7 @@ pub fn render_rs_sweep(sweep: &RsSweep) -> String {
         t.row(&[
             format!("RS({}, {})", row.data, row.data + row.parity),
             format!("{}", row.chunk_size),
+            format!("{:.0}", row.scalar_mb_s),
             format!("{:.0}", row.encode_mb_s),
             format!("{:.0}", row.parallel_encode_mb_s),
             format!("{:.0}", row.decode_mb_s),
@@ -477,6 +479,8 @@ mod tests {
         assert!(text.contains("ReedSolomon"));
         assert!(text.contains("RS(4, 6)"));
         assert!(text.contains("RS(8, 12)"));
+        assert!(text.contains("Scalar (MB/s)"));
+        assert!(text.contains("Nibble64 (MB/s)"));
         assert!(text.contains("100%"));
     }
 
